@@ -1,0 +1,107 @@
+//! Benchmarks for the characterization harnesses: the Vmin campaigns and
+//! droop measurements behind Figures 3–6 and 10 and Table II.
+//!
+//! Each bench regenerates (a slice of) the corresponding artifact, so
+//! `cargo bench` doubles as a performance check of the reproduction
+//! pipeline and a smoke re-generation of every characterization figure.
+
+use avfs_chip::vmin::DroopClass;
+use avfs_experiments::characterization::{fig3, fig4, fig5, vmin_search, CharConfig, ThreadAlloc};
+use avfs_experiments::droops::fig6;
+use avfs_experiments::factors::fig10;
+use avfs_experiments::tables::{table1, table2};
+use avfs_experiments::{Machine, Scale};
+use avfs_sim::RngStream;
+use avfs_workloads::Benchmark;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_vmin_search(c: &mut Criterion) {
+    let chip = Machine::XGene3.chip_builder().build();
+    let config = CharConfig {
+        threads: 32,
+        alloc: ThreadAlloc::Clustered,
+        step: avfs_chip::FreqStep::MAX,
+    };
+    c.bench_function("fig03/vmin_search_single_benchmark_1000runs", |b| {
+        let mut rng = RngStream::from_root(1, "bench");
+        b.iter(|| {
+            black_box(vmin_search(
+                &chip,
+                Benchmark::NpbCg,
+                &config,
+                1000,
+                &mut rng,
+            ))
+        })
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig03");
+    g.sample_size(10);
+    g.bench_function("xgene2_full_table_quick", |b| {
+        b.iter(|| black_box(fig3(Machine::XGene2, Scale::Quick)))
+    });
+    g.bench_function("xgene3_full_table_quick", |b| {
+        b.iter(|| black_box(fig3(Machine::XGene3, Scale::Quick)))
+    });
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig04");
+    g.sample_size(10);
+    g.bench_function("xgene2_core_regions_quick", |b| {
+        b.iter(|| black_box(fig4(Scale::Quick)))
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig05");
+    g.sample_size(10);
+    g.bench_function("xgene2_pfail_curves_quick", |b| {
+        b.iter(|| black_box(fig5(Machine::XGene2, Scale::Quick)))
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig06");
+    g.sample_size(10);
+    g.bench_function("droop_bands_quick", |b| {
+        b.iter(|| {
+            (
+                black_box(fig6(DroopClass::D55, Scale::Quick)),
+                black_box(fig6(DroopClass::D45, Scale::Quick)),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig10_and_tables(c: &mut Criterion) {
+    c.bench_function("fig10/factor_decomposition_both_machines", |b| {
+        b.iter(|| {
+            (
+                black_box(fig10(Machine::XGene2)),
+                black_box(fig10(Machine::XGene3)),
+            )
+        })
+    });
+    c.bench_function("table1_table2/regenerate", |b| {
+        b.iter(|| (black_box(table1()), black_box(table2())))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_vmin_search,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig10_and_tables
+);
+criterion_main!(benches);

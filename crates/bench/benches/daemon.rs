@@ -1,0 +1,131 @@
+//! Benchmarks for the system-level evaluation (Tables III/IV, Figures
+//! 14/15) and for the daemon's own overhead.
+//!
+//! The daemon microbenchmarks quantify the paper's "minimally intrusive"
+//! claim: a replan on a realistic 32-process view must be microseconds.
+
+use avfs_chip::presets;
+use avfs_chip::topology::{CoreId, CoreSet};
+use avfs_core::configs::EvalConfig;
+use avfs_core::daemon::Daemon;
+use avfs_sched::driver::{Driver, ProcessView, SysEvent, SystemView};
+use avfs_sched::governor::GovernorMode;
+use avfs_sched::process::{Pid, ProcessState};
+use avfs_sched::system::{System, SystemConfig};
+use avfs_sim::time::SimTime;
+use avfs_experiments::server_eval::{evaluate, table3_4};
+use avfs_experiments::{Machine, Scale};
+use avfs_workloads::classify::IntensityClass;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_tables_3_4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables3_4");
+    g.sample_size(10);
+    g.bench_function("table3_xgene2_quick_eval", |b| {
+        b.iter(|| black_box(table3_4(Machine::XGene2, Scale::Quick, 7)))
+    });
+    g.bench_function("table4_xgene3_quick_eval", |b| {
+        b.iter(|| black_box(table3_4(Machine::XGene3, Scale::Quick, 7)))
+    });
+    g.finish();
+}
+
+fn bench_fig14_15(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_15");
+    g.sample_size(10);
+    g.bench_function("four_config_eval_xgene2_quick", |b| {
+        b.iter(|| black_box(evaluate(Machine::XGene2, Scale::Quick, 3)))
+    });
+    g.finish();
+}
+
+fn bench_single_config_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("system_run");
+    g.sample_size(10);
+    for config in [EvalConfig::Baseline, EvalConfig::Optimal] {
+        let mut gen = avfs_workloads::GeneratorConfig::paper_default(8, 5);
+        gen.duration = avfs_sim::time::SimDuration::from_secs(300);
+        gen.job_scale = 0.2;
+        let trace = avfs_workloads::WorkloadTrace::generate(&gen);
+        g.bench_function(format!("xgene2_300s_{}", config.label()), |b| {
+            b.iter(|| {
+                let chip = presets::xgene2().build();
+                let mut driver = config.driver(&chip);
+                let mut system = System::new(
+                    chip,
+                    avfs_workloads::PerfModel::xgene2(),
+                    SystemConfig::default(),
+                );
+                black_box(system.run(&trace, driver.as_mut()))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// A realistic 32-process view for the replan microbenchmark.
+fn full_view() -> SystemView {
+    let chip = presets::xgene3().build();
+    let processes = (0..32u64)
+        .map(|i| ProcessView {
+            pid: Pid(i),
+            threads: 1,
+            state: ProcessState::Running,
+            assigned: {
+                let mut cs = CoreSet::EMPTY;
+                cs.insert(CoreId::new(i as u16));
+                cs
+            },
+            l3c_per_mcycle: Some(if i % 2 == 0 { 200.0 } else { 15_000.0 }),
+            class: Some(if i % 2 == 0 {
+                IntensityClass::CpuIntensive
+            } else {
+                IntensityClass::MemoryIntensive
+            }),
+            arrived_at: SimTime::ZERO,
+        })
+        .collect();
+    SystemView {
+        now: SimTime::from_secs(10),
+        spec: chip.spec().clone(),
+        voltage: chip.voltage(),
+        pmd_steps: vec![avfs_chip::FreqStep::MAX; 16],
+        governor: GovernorMode::Userspace,
+        processes,
+    }
+}
+
+fn bench_daemon_replan(c: &mut Criterion) {
+    let chip = presets::xgene3().build();
+    let view = full_view();
+    c.bench_function("daemon/replan_32_processes", |b| {
+        let mut daemon = Daemon::optimal(&chip);
+        // Initialize once.
+        let _ = daemon.on_event(&view, &SysEvent::MonitorTick);
+        b.iter(|| {
+            black_box(daemon.on_event(&view, &SysEvent::ProcessFinished(Pid(999))))
+        })
+    });
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    c.bench_function("generator/one_hour_trace_32_cores", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let cfg = avfs_workloads::GeneratorConfig::paper_default(32, seed);
+            black_box(avfs_workloads::WorkloadTrace::generate(&cfg))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_tables_3_4,
+    bench_fig14_15,
+    bench_single_config_run,
+    bench_daemon_replan,
+    bench_workload_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Benchmarks for the energy/performance trade-off harnesses behind
+//! Figures 7, 8, 9, 11, and 12.
+
+use avfs_experiments::characterization::{CharConfig, ThreadAlloc};
+use avfs_experiments::energy::{fig11, fig12, fig7, steady_run, VoltageMode};
+use avfs_experiments::perfchar::{fig8, fig9};
+use avfs_experiments::{Machine, Scale};
+use avfs_workloads::Benchmark;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("fig07/clustered_vs_spreaded_25_benchmarks", |b| {
+        b.iter(|| black_box(fig7()))
+    });
+}
+
+fn bench_fig8_fig9(c: &mut Criterion) {
+    c.bench_function("fig08/contention_ratios_both_machines", |b| {
+        b.iter(|| {
+            (
+                black_box(fig8(Machine::XGene2, Scale::Quick)),
+                black_box(fig8(Machine::XGene3, Scale::Quick)),
+            )
+        })
+    });
+    c.bench_function("fig09/l3c_rates_xgene3", |b| {
+        b.iter(|| black_box(fig9(Machine::XGene3, Scale::Quick)))
+    });
+}
+
+fn bench_fig11_fig12(c: &mut Criterion) {
+    c.bench_function("fig11/energy_tables_both_machines", |b| {
+        b.iter(|| {
+            (
+                black_box(fig11(Machine::XGene2)),
+                black_box(fig11(Machine::XGene3)),
+            )
+        })
+    });
+    c.bench_function("fig12/ed2p_tables_both_machines", |b| {
+        b.iter(|| {
+            (
+                black_box(fig12(Machine::XGene2)),
+                black_box(fig12(Machine::XGene3)),
+            )
+        })
+    });
+}
+
+fn bench_steady_run(c: &mut Criterion) {
+    let config = CharConfig {
+        threads: 32,
+        alloc: ThreadAlloc::Spreaded,
+        step: avfs_chip::FreqStep::HALF,
+    };
+    c.bench_function("steady_run/single_operating_point", |b| {
+        b.iter(|| {
+            black_box(steady_run(
+                Machine::XGene3,
+                Benchmark::NpbCg,
+                &config,
+                VoltageMode::SafeVmin,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fig7,
+    bench_fig8_fig9,
+    bench_fig11_fig12,
+    bench_steady_run
+);
+criterion_main!(benches);

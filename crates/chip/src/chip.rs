@@ -1,0 +1,364 @@
+//! The runtime chip: state plus all calibrated models.
+//!
+//! [`Chip`] owns the voltage rail, the per-PMD frequency steps, the PMU,
+//! and the calibrated Vmin / droop / failure / power models. Software
+//! (the scheduler substrate and the daemon) manipulates it only through
+//! the knobs a real X-Gene exposes: per-PMD frequency requests (cpufreq)
+//! and SLIMpro mailbox messages (voltage).
+
+use crate::droop::DroopModel;
+use crate::error::ChipError;
+use crate::failure::FailureModel;
+use crate::freq::{CppcBehavior, FreqStep, FreqVminClass, FrequencyMhz};
+use crate::pmu::ChipPmu;
+use crate::power::{PowerInputs, PowerModel};
+use crate::slimpro::{MailboxRequest, MailboxResponse, MailboxStats};
+use crate::topology::{ChipSpec, CoreSet, PmdId};
+use crate::vmin::{VminModel, VminQuery};
+use crate::voltage::{Millivolts, VoltageRail};
+
+/// A fully assembled chip instance.
+#[derive(Debug, Clone)]
+pub struct Chip {
+    spec: ChipSpec,
+    behavior: CppcBehavior,
+    rail: VoltageRail,
+    pmd_steps: Vec<FreqStep>,
+    vmin: VminModel,
+    power: PowerModel,
+    droop: DroopModel,
+    failure: FailureModel,
+    pmu: ChipPmu,
+    mailbox_stats: MailboxStats,
+    /// Power reported by the sensor on the last mailbox read, mW.
+    last_sensor_mw: u64,
+}
+
+impl Chip {
+    /// Assembles a chip from its spec and calibrated models. Use
+    /// [`crate::presets`] for the two X-Gene parts.
+    pub fn new(
+        spec: ChipSpec,
+        behavior: CppcBehavior,
+        vmin: VminModel,
+        power: PowerModel,
+        droop: DroopModel,
+        failure: FailureModel,
+    ) -> Self {
+        let rail = VoltageRail::new(
+            Millivolts::new(spec.nominal_mv),
+            Millivolts::new(spec.vreg_floor_mv),
+        );
+        let pmds = spec.pmds() as usize;
+        let cores = spec.cores as usize;
+        Chip {
+            spec,
+            behavior,
+            rail,
+            pmd_steps: vec![FreqStep::MAX; pmds],
+            vmin,
+            power,
+            droop,
+            failure,
+            pmu: ChipPmu::new(cores),
+            mailbox_stats: MailboxStats::default(),
+            last_sensor_mw: 0,
+        }
+    }
+
+    /// The static chip description.
+    pub fn spec(&self) -> &ChipSpec {
+        &self.spec
+    }
+
+    /// The CPPC firmware behaviour of this part.
+    pub fn behavior(&self) -> CppcBehavior {
+        self.behavior
+    }
+
+    /// The calibrated Vmin model.
+    pub fn vmin_model(&self) -> &VminModel {
+        &self.vmin
+    }
+
+    /// The calibrated power model.
+    pub fn power_model(&self) -> &PowerModel {
+        &self.power
+    }
+
+    /// The droop-event model.
+    pub fn droop_model(&self) -> &DroopModel {
+        &self.droop
+    }
+
+    /// The sub-Vmin failure model.
+    pub fn failure_model(&self) -> &FailureModel {
+        &self.failure
+    }
+
+    /// The PMU block.
+    pub fn pmu(&self) -> &ChipPmu {
+        &self.pmu
+    }
+
+    /// Mutable PMU access (the simulator records progress through this).
+    pub fn pmu_mut(&mut self) -> &mut ChipPmu {
+        &mut self.pmu
+    }
+
+    /// The current rail voltage.
+    pub fn voltage(&self) -> Millivolts {
+        self.rail.current()
+    }
+
+    /// The nominal rail voltage.
+    pub fn nominal_voltage(&self) -> Millivolts {
+        self.rail.nominal()
+    }
+
+    /// The frequency step of a PMD.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::InvalidPmd`] for out-of-range PMDs.
+    pub fn pmd_freq_step(&self, pmd: PmdId) -> Result<FreqStep, ChipError> {
+        self.pmd_steps
+            .get(pmd.index())
+            .copied()
+            .ok_or(ChipError::InvalidPmd(pmd))
+    }
+
+    /// Requests a frequency step for one PMD (the cpufreq path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::InvalidPmd`] for out-of-range PMDs.
+    pub fn set_pmd_freq_step(&mut self, pmd: PmdId, step: FreqStep) -> Result<(), ChipError> {
+        let slot = self
+            .pmd_steps
+            .get_mut(pmd.index())
+            .ok_or(ChipError::InvalidPmd(pmd))?;
+        *slot = step;
+        Ok(())
+    }
+
+    /// Sets every PMD to the same step.
+    pub fn set_all_freq_steps(&mut self, step: FreqStep) {
+        for s in &mut self.pmd_steps {
+            *s = step;
+        }
+    }
+
+    /// The requested clock of a PMD in MHz.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::InvalidPmd`] for out-of-range PMDs.
+    pub fn pmd_frequency(&self, pmd: PmdId) -> Result<FrequencyMhz, ChipError> {
+        Ok(self.pmd_freq_step(pmd)?.frequency(self.spec.fmax_mhz))
+    }
+
+    /// The frequency-class of the rail requirement given which PMDs are
+    /// currently *utilized* (idle PMDs do not constrain Vmin).
+    pub fn freq_vmin_class(&self, utilized: &[PmdId]) -> FreqVminClass {
+        self.behavior.vmin_class_of_steps(
+            utilized
+                .iter()
+                .filter_map(|p| self.pmd_steps.get(p.index()).copied()),
+        )
+    }
+
+    /// The safe Vmin of the *current* chip configuration for an
+    /// allocation of `active_cores`, assuming a typical workload
+    /// (sensitivity 0).
+    pub fn current_safe_vmin(&self, active_cores: CoreSet) -> Millivolts {
+        let utilized = active_cores.utilized_pmds(&self.spec);
+        let q = VminQuery {
+            freq_class: self.freq_vmin_class(&utilized),
+            utilized_pmds: utilized.len(),
+            active_threads: active_cores.len(),
+            workload_sensitivity: 0.0,
+        };
+        self.vmin.safe_vmin_on(&q, &utilized)
+    }
+
+    /// True when the rail currently satisfies the safe Vmin of the given
+    /// allocation — the invariant the daemon's fail-safe ordering
+    /// maintains.
+    pub fn is_voltage_safe_for(&self, active_cores: CoreSet) -> bool {
+        self.voltage() >= self.current_safe_vmin(active_cores)
+    }
+
+    /// Processes a SLIMpro mailbox request.
+    pub fn mailbox(&mut self, req: MailboxRequest) -> MailboxResponse {
+        self.mailbox_stats.requests += 1;
+        match req {
+            MailboxRequest::SetVoltage(mv) => match self.rail.set(mv) {
+                Ok(()) => {
+                    self.mailbox_stats.voltage_changes += 1;
+                    MailboxResponse::VoltageSet(mv)
+                }
+                Err((min, max)) => {
+                    self.mailbox_stats.refusals += 1;
+                    MailboxResponse::Refused {
+                        reason: format!("voltage {mv} outside [{min}, {max}]"),
+                    }
+                }
+            },
+            MailboxRequest::GetVoltage => MailboxResponse::Voltage(self.rail.current()),
+            MailboxRequest::ReadPowerSensor => MailboxResponse::PowerMw(self.last_sensor_mw),
+            MailboxRequest::GetFirmwareInfo => {
+                MailboxResponse::FirmwareInfo(format!("SLIMpro/{} (simulated)", self.spec.name))
+            }
+        }
+    }
+
+    /// Mailbox traffic statistics.
+    pub fn mailbox_stats(&self) -> MailboxStats {
+        self.mailbox_stats
+    }
+
+    /// Convenience: set the rail voltage, as the daemon does via the
+    /// mailbox.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::VoltageOutOfRange`] if the regulator refuses.
+    pub fn set_voltage(&mut self, mv: Millivolts) -> Result<(), ChipError> {
+        match self.mailbox(MailboxRequest::SetVoltage(mv)) {
+            MailboxResponse::VoltageSet(_) => Ok(()),
+            _ => Err(ChipError::VoltageOutOfRange {
+                requested: mv,
+                min: self.rail.floor(),
+                max: self.rail.nominal(),
+            }),
+        }
+    }
+
+    /// Evaluates instantaneous power and latches it into the sensor.
+    pub fn evaluate_power_w(&mut self, inputs: &PowerInputs) -> f64 {
+        let w = self.power.power_w(inputs);
+        self.last_sensor_mw = (w * 1_000.0).round() as u64;
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::topology::CoreId;
+
+    #[test]
+    fn defaults_are_nominal_and_fmax() {
+        let chip = presets::xgene2().build();
+        assert_eq!(chip.voltage().as_mv(), 980);
+        for pmd in chip.spec().all_pmds() {
+            assert_eq!(chip.pmd_freq_step(pmd).unwrap(), FreqStep::MAX);
+            assert_eq!(chip.pmd_frequency(pmd).unwrap().as_mhz(), 2400);
+        }
+    }
+
+    #[test]
+    fn per_pmd_frequency_is_independent() {
+        let mut chip = presets::xgene3().build();
+        chip.set_pmd_freq_step(PmdId::new(3), FreqStep::HALF).unwrap();
+        assert_eq!(chip.pmd_frequency(PmdId::new(3)).unwrap().as_mhz(), 1500);
+        assert_eq!(chip.pmd_frequency(PmdId::new(4)).unwrap().as_mhz(), 3000);
+    }
+
+    #[test]
+    fn invalid_pmd_is_an_error() {
+        let mut chip = presets::xgene2().build();
+        assert_eq!(
+            chip.set_pmd_freq_step(PmdId::new(99), FreqStep::MAX),
+            Err(ChipError::InvalidPmd(PmdId::new(99)))
+        );
+        assert!(chip.pmd_frequency(PmdId::new(99)).is_err());
+    }
+
+    #[test]
+    fn mailbox_voltage_roundtrip() {
+        let mut chip = presets::xgene3().build();
+        let resp = chip.mailbox(MailboxRequest::SetVoltage(Millivolts::new(830)));
+        assert_eq!(resp, MailboxResponse::VoltageSet(Millivolts::new(830)));
+        assert_eq!(
+            chip.mailbox(MailboxRequest::GetVoltage),
+            MailboxResponse::Voltage(Millivolts::new(830))
+        );
+        assert_eq!(chip.mailbox_stats().voltage_changes, 1);
+    }
+
+    #[test]
+    fn mailbox_refuses_over_nominal() {
+        let mut chip = presets::xgene3().build();
+        let resp = chip.mailbox(MailboxRequest::SetVoltage(Millivolts::new(1_000)));
+        assert!(!resp.is_ok());
+        assert_eq!(chip.voltage().as_mv(), 870);
+        assert_eq!(chip.mailbox_stats().refusals, 1);
+        assert!(chip.set_voltage(Millivolts::new(1_000)).is_err());
+    }
+
+    #[test]
+    fn vmin_class_ignores_idle_pmds() {
+        let mut chip = presets::xgene2().build();
+        // Drop PMD3 to a divided step, but leave it out of the utilized set.
+        chip.set_pmd_freq_step(PmdId::new(3), FreqStep::new(2).unwrap())
+            .unwrap();
+        let class_active_fast = chip.freq_vmin_class(&[PmdId::new(0)]);
+        assert_eq!(class_active_fast, FreqVminClass::Max);
+        // Now only the divided PMD is utilized.
+        let class_divided = chip.freq_vmin_class(&[PmdId::new(3)]);
+        assert_eq!(class_divided, FreqVminClass::Divided);
+    }
+
+    #[test]
+    fn safe_vmin_tracks_allocation_width() {
+        let chip = presets::xgene3().build();
+        let narrow: CoreSet = [0u16, 1].into_iter().map(CoreId::new).collect(); // 1 PMD
+        let wide = CoreSet::first_n(32); // 16 PMDs
+        assert!(chip.current_safe_vmin(narrow) < chip.current_safe_vmin(wide));
+    }
+
+    #[test]
+    fn nominal_voltage_is_always_safe() {
+        let chip = presets::xgene3().build();
+        assert!(chip.is_voltage_safe_for(CoreSet::first_n(32)));
+    }
+
+    #[test]
+    fn undervolted_rail_can_become_unsafe_for_wider_allocation() {
+        let mut chip = presets::xgene3().build();
+        let narrow: CoreSet = [0u16, 1].into_iter().map(CoreId::new).collect();
+        let vmin_narrow = chip.current_safe_vmin(narrow);
+        chip.set_voltage(vmin_narrow).unwrap();
+        assert!(chip.is_voltage_safe_for(narrow));
+        assert!(!chip.is_voltage_safe_for(CoreSet::first_n(32)));
+    }
+
+    #[test]
+    fn power_sensor_latches() {
+        let mut chip = presets::xgene2().build();
+        let inputs = PowerInputs {
+            voltage: chip.voltage(),
+            pmd_loads: vec![crate::power::PmdLoad::IDLE; 4],
+            mem_traffic: 0.0,
+        };
+        let w = chip.evaluate_power_w(&inputs);
+        match chip.mailbox(MailboxRequest::ReadPowerSensor) {
+            MailboxResponse::PowerMw(mw) => {
+                assert_eq!(mw, (w * 1000.0).round() as u64);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn firmware_info_names_the_chip() {
+        let mut chip = presets::xgene3().build();
+        match chip.mailbox(MailboxRequest::GetFirmwareInfo) {
+            MailboxResponse::FirmwareInfo(s) => assert!(s.contains("X-Gene 3")),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+}

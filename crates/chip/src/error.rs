@@ -1,0 +1,78 @@
+//! Error type for chip-model operations.
+
+use crate::topology::{CoreId, PmdId};
+use crate::voltage::Millivolts;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by chip-model operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ChipError {
+    /// A core index beyond the chip's core count.
+    InvalidCore(CoreId),
+    /// A PMD index beyond the chip's PMD count.
+    InvalidPmd(PmdId),
+    /// A requested voltage outside the rail's regulated range.
+    VoltageOutOfRange {
+        /// The rejected request.
+        requested: Millivolts,
+        /// The lowest voltage the regulator can produce.
+        min: Millivolts,
+        /// The highest voltage the regulator can produce (the nominal).
+        max: Millivolts,
+    },
+    /// A frequency request that does not map onto a 1/8-of-fmax step.
+    InvalidFreqStep(u8),
+    /// A SLIMpro mailbox message the firmware does not understand.
+    UnknownMailboxCommand(u8),
+}
+
+impl fmt::Display for ChipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChipError::InvalidCore(c) => write!(f, "core {c} does not exist on this chip"),
+            ChipError::InvalidPmd(p) => write!(f, "PMD {p} does not exist on this chip"),
+            ChipError::VoltageOutOfRange {
+                requested,
+                min,
+                max,
+            } => write!(
+                f,
+                "requested voltage {requested} outside regulated range [{min}, {max}]"
+            ),
+            ChipError::InvalidFreqStep(s) => {
+                write!(f, "frequency step {s} is not in the valid range 1..=8")
+            }
+            ChipError::UnknownMailboxCommand(c) => {
+                write!(f, "unknown SLIMpro mailbox command 0x{c:02x}")
+            }
+        }
+    }
+}
+
+impl Error for ChipError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ChipError::VoltageOutOfRange {
+            requested: Millivolts::new(1200),
+            min: Millivolts::new(700),
+            max: Millivolts::new(980),
+        };
+        let s = e.to_string();
+        assert!(s.contains("1200"));
+        assert!(s.contains("700"));
+        assert!(s.contains("980"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<ChipError>();
+    }
+}

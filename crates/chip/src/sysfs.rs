@@ -1,0 +1,287 @@
+//! A sysfs-style control plane over the chip.
+//!
+//! On the real machines the paper's daemon manipulates frequency through
+//! the kernel's cpufreq sysfs files and reads sensors through hwmon;
+//! only the voltage path goes through the SLIMpro mailbox. This module
+//! provides the same string-keyed interface over the chip model, so
+//! integration code (and tests) can exercise the exact file protocol a
+//! userspace daemon would use:
+//!
+//! | path | semantics |
+//! |------|-----------|
+//! | `cpu/cpu<N>/cpufreq/scaling_cur_freq` | current frequency of the core's PMD, kHz (read) |
+//! | `cpu/cpu<N>/cpufreq/scaling_setspeed` | request a frequency, kHz (write; snaps up to the next 1/8 step) |
+//! | `cpu/cpu<N>/cpufreq/cpuinfo_max_freq` | fmax, kHz (read) |
+//! | `cpu/cpu<N>/cpufreq/cpuinfo_min_freq` | fmax/8, kHz (read) |
+//! | `hwmon/in0_input` | rail voltage, mV (read) |
+//! | `hwmon/power1_input` | last evaluated PCP power, µW (read) |
+//! | `avfs/slimpro/voltage` | rail voltage, mV (read/write via the mailbox) |
+//! | `avfs/droops/band<K>` | cumulative droop detections in band K (read) |
+
+use crate::chip::Chip;
+use crate::error::ChipError;
+use crate::freq::FreqStep;
+use crate::slimpro::{MailboxRequest, MailboxResponse};
+use crate::topology::CoreId;
+use crate::voltage::Millivolts;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the sysfs adapter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SysfsError {
+    /// The path does not exist in this tree.
+    NoSuchFile(String),
+    /// The file exists but does not support the operation.
+    PermissionDenied(String),
+    /// The written value could not be parsed or was rejected.
+    InvalidValue(String),
+    /// An underlying chip error.
+    Chip(ChipError),
+}
+
+impl fmt::Display for SysfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SysfsError::NoSuchFile(p) => write!(f, "no such file: {p}"),
+            SysfsError::PermissionDenied(p) => write!(f, "permission denied: {p}"),
+            SysfsError::InvalidValue(v) => write!(f, "invalid value: {v}"),
+            SysfsError::Chip(e) => write!(f, "chip error: {e}"),
+        }
+    }
+}
+
+impl Error for SysfsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SysfsError::Chip(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ChipError> for SysfsError {
+    fn from(e: ChipError) -> Self {
+        SysfsError::Chip(e)
+    }
+}
+
+fn parse_core(chip: &Chip, token: &str) -> Result<CoreId, SysfsError> {
+    let idx: u16 = token
+        .strip_prefix("cpu")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| SysfsError::NoSuchFile(format!("cpu/{token}")))?;
+    let core = CoreId::new(idx);
+    if chip.spec().contains_core(core) {
+        Ok(core)
+    } else {
+        Err(SysfsError::NoSuchFile(format!("cpu/{token}")))
+    }
+}
+
+/// Reads a sysfs path.
+///
+/// # Errors
+///
+/// [`SysfsError::NoSuchFile`] for unknown paths.
+pub fn read(chip: &Chip, path: &str) -> Result<String, SysfsError> {
+    let parts: Vec<&str> = path.trim_matches('/').split('/').collect();
+    match parts.as_slice() {
+        ["cpu", cpu, "cpufreq", leaf] => {
+            let core = parse_core(chip, cpu)?;
+            let pmd = chip.spec().pmd_of(core);
+            match *leaf {
+                "scaling_cur_freq" => {
+                    let khz = chip.pmd_frequency(pmd)?.as_mhz() as u64 * 1_000;
+                    Ok(khz.to_string())
+                }
+                "cpuinfo_max_freq" => Ok((chip.spec().fmax_mhz as u64 * 1_000).to_string()),
+                "cpuinfo_min_freq" => {
+                    Ok((chip.spec().fmax_mhz as u64 / 8 * 1_000).to_string())
+                }
+                "scaling_setspeed" => Err(SysfsError::PermissionDenied(path.to_string())),
+                _ => Err(SysfsError::NoSuchFile(path.to_string())),
+            }
+        }
+        ["hwmon", "in0_input"] => Ok(chip.voltage().as_mv().to_string()),
+        ["avfs", "droops", band] => {
+            let k: usize = band
+                .strip_prefix("band")
+                .and_then(|s| s.parse().ok())
+                .filter(|&k| k < 4)
+                .ok_or_else(|| SysfsError::NoSuchFile(path.to_string()))?;
+            Ok(chip.pmu().droops().per_band[k].to_string())
+        }
+        ["avfs", "slimpro", "voltage"] => Ok(chip.voltage().as_mv().to_string()),
+        _ => Err(SysfsError::NoSuchFile(path.to_string())),
+    }
+}
+
+/// Reads a path that requires mailbox interaction (power sensor).
+///
+/// # Errors
+///
+/// [`SysfsError::NoSuchFile`] for unknown paths.
+pub fn read_mut(chip: &mut Chip, path: &str) -> Result<String, SysfsError> {
+    if path.trim_matches('/') == "hwmon/power1_input" {
+        match chip.mailbox(MailboxRequest::ReadPowerSensor) {
+            MailboxResponse::PowerMw(mw) => Ok((mw * 1_000).to_string()),
+            other => Err(SysfsError::InvalidValue(format!("{other:?}"))),
+        }
+    } else {
+        read(chip, path)
+    }
+}
+
+/// Writes a sysfs path.
+///
+/// # Errors
+///
+/// [`SysfsError::PermissionDenied`] for read-only files,
+/// [`SysfsError::InvalidValue`] for rejected values.
+pub fn write(chip: &mut Chip, path: &str, value: &str) -> Result<(), SysfsError> {
+    let parts: Vec<&str> = path.trim_matches('/').split('/').collect();
+    match parts.as_slice() {
+        ["cpu", cpu, "cpufreq", "scaling_setspeed"] => {
+            let core = parse_core(chip, cpu)?;
+            let khz: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| SysfsError::InvalidValue(value.to_string()))?;
+            let mhz = (khz / 1_000) as u32;
+            if mhz == 0 || mhz > chip.spec().fmax_mhz {
+                return Err(SysfsError::InvalidValue(format!("{khz} kHz out of range")));
+            }
+            let step = FreqStep::nearest_at_least(mhz, chip.spec().fmax_mhz);
+            let pmd = chip.spec().pmd_of(core);
+            chip.set_pmd_freq_step(pmd, step)?;
+            Ok(())
+        }
+        ["avfs", "slimpro", "voltage"] => {
+            let mv: u32 = value
+                .trim()
+                .parse()
+                .map_err(|_| SysfsError::InvalidValue(value.to_string()))?;
+            match chip.mailbox(MailboxRequest::SetVoltage(Millivolts::new(mv))) {
+                MailboxResponse::VoltageSet(_) => Ok(()),
+                MailboxResponse::Refused { reason } => Err(SysfsError::InvalidValue(reason)),
+                other => Err(SysfsError::InvalidValue(format!("{other:?}"))),
+            }
+        }
+        ["cpu", _, "cpufreq", leaf]
+            if ["scaling_cur_freq", "cpuinfo_max_freq", "cpuinfo_min_freq"].contains(leaf) =>
+        {
+            Err(SysfsError::PermissionDenied(path.to_string()))
+        }
+        ["hwmon", _] => Err(SysfsError::PermissionDenied(path.to_string())),
+        _ => Err(SysfsError::NoSuchFile(path.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::topology::PmdId;
+
+    #[test]
+    fn cpufreq_reads() {
+        let chip = presets::xgene2().build();
+        assert_eq!(
+            read(&chip, "cpu/cpu0/cpufreq/scaling_cur_freq").unwrap(),
+            "2400000"
+        );
+        assert_eq!(
+            read(&chip, "cpu/cpu7/cpufreq/cpuinfo_max_freq").unwrap(),
+            "2400000"
+        );
+        assert_eq!(
+            read(&chip, "cpu/cpu7/cpufreq/cpuinfo_min_freq").unwrap(),
+            "300000"
+        );
+    }
+
+    #[test]
+    fn setspeed_snaps_to_step_and_is_per_pmd() {
+        let mut chip = presets::xgene2().build();
+        // 1 GHz request snaps up to the 1.2 GHz step for PMD0.
+        write(&mut chip, "cpu/cpu1/cpufreq/scaling_setspeed", "1000000").unwrap();
+        assert_eq!(
+            read(&chip, "cpu/cpu0/cpufreq/scaling_cur_freq").unwrap(),
+            "1200000"
+        );
+        // Sibling core (same PMD) changed; other PMDs did not.
+        assert_eq!(
+            read(&chip, "cpu/cpu2/cpufreq/scaling_cur_freq").unwrap(),
+            "2400000"
+        );
+        assert_eq!(chip.pmd_freq_step(PmdId::new(0)).unwrap().numerator(), 4);
+    }
+
+    #[test]
+    fn voltage_roundtrip_through_slimpro_node() {
+        let mut chip = presets::xgene3().build();
+        write(&mut chip, "avfs/slimpro/voltage", "830").unwrap();
+        assert_eq!(read(&chip, "avfs/slimpro/voltage").unwrap(), "830");
+        assert_eq!(read(&chip, "hwmon/in0_input").unwrap(), "830");
+        // Out of range is rejected with the regulator's reason.
+        let err = write(&mut chip, "avfs/slimpro/voltage", "1000").unwrap_err();
+        assert!(matches!(err, SysfsError::InvalidValue(_)));
+    }
+
+    #[test]
+    fn power_sensor_reads_microwatts() {
+        let mut chip = presets::xgene2().build();
+        let inputs = crate::power::PowerInputs {
+            voltage: chip.voltage(),
+            pmd_loads: vec![crate::power::PmdLoad::IDLE; 4],
+            mem_traffic: 0.0,
+        };
+        let w = chip.evaluate_power_w(&inputs);
+        let uw: u64 = read_mut(&mut chip, "hwmon/power1_input")
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(uw, (w * 1000.0).round() as u64 * 1000);
+    }
+
+    #[test]
+    fn droop_counters_visible() {
+        let mut chip = presets::xgene2().build();
+        chip.pmu_mut().record_droops(&crate::droop::DroopCounts {
+            per_band: [7, 3, 0, 1],
+        });
+        assert_eq!(read(&chip, "avfs/droops/band0").unwrap(), "7");
+        assert_eq!(read(&chip, "avfs/droops/band3").unwrap(), "1");
+        assert!(matches!(
+            read(&chip, "avfs/droops/band4"),
+            Err(SysfsError::NoSuchFile(_))
+        ));
+    }
+
+    #[test]
+    fn permissions_and_missing_paths() {
+        let mut chip = presets::xgene2().build();
+        assert!(matches!(
+            write(&mut chip, "cpu/cpu0/cpufreq/scaling_cur_freq", "1"),
+            Err(SysfsError::PermissionDenied(_))
+        ));
+        assert!(matches!(
+            read(&chip, "cpu/cpu0/cpufreq/scaling_setspeed"),
+            Err(SysfsError::PermissionDenied(_))
+        ));
+        assert!(matches!(
+            read(&chip, "cpu/cpu99/cpufreq/scaling_cur_freq"),
+            Err(SysfsError::NoSuchFile(_))
+        ));
+        assert!(matches!(
+            read(&chip, "not/a/path"),
+            Err(SysfsError::NoSuchFile(_))
+        ));
+        assert!(matches!(
+            write(&mut chip, "cpu/cpu0/cpufreq/scaling_setspeed", "banana"),
+            Err(SysfsError::InvalidValue(_))
+        ));
+    }
+}

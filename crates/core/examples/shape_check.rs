@@ -1,0 +1,31 @@
+use avfs_chip::presets;
+use avfs_core::configs::EvalConfig;
+use avfs_sched::system::{System, SystemConfig};
+use avfs_sim::time::SimDuration;
+use avfs_workloads::{GeneratorConfig, PerfModel, WorkloadTrace};
+
+fn main() {
+    for (name, builder, perf, cores) in [
+        ("X-Gene 2", presets::xgene2(), PerfModel::xgene2(), 8u16),
+        ("X-Gene 3", presets::xgene3(), PerfModel::xgene3(), 32),
+    ] {
+        let mut gen = GeneratorConfig::paper_default(cores as usize, 2024);
+        gen.duration = SimDuration::from_secs(3600);
+        let trace = WorkloadTrace::generate(&gen);
+        println!("== {name}: {} jobs ==", trace.len());
+        let mut base = None;
+        for cfg in EvalConfig::ALL {
+            let chip = builder.build();
+            let mut driver = cfg.driver(&chip);
+            let mut sys = System::new(chip, perf.clone(), SystemConfig::default());
+            let m = sys.run(&trace, driver.as_mut());
+            let (es, tp, ed) = match &base {
+                None => (0.0, 0.0, 0.0),
+                Some(b) => (m.energy_savings_vs(b)*100.0, m.time_penalty_vs(b)*100.0, m.ed2p_savings_vs(b)*100.0),
+            };
+            println!("{:10} time {:7.1}s  avgP {:6.2}W  E {:9.0}J  savings {:5.1}%  tpen {:5.2}%  ed2p-sav {:5.1}%  unsafe {:.3}s rej {}",
+                cfg.label(), m.makespan.as_secs_f64(), m.avg_power_w, m.energy_j, es, tp, ed, m.unsafe_time_s, sys.rejected_actions());
+            if base.is_none() { base = Some(m); }
+        }
+    }
+}

@@ -1,0 +1,735 @@
+//! The Placement part of the daemon (Figure 13) as a system driver.
+//!
+//! The daemon reacts to the three event kinds of §VI-A — process issued,
+//! process finished, process re-classified — by recomputing the target
+//! layout ([`crate::allocation::plan_layout`]), the per-PMD frequency
+//! program (CPU PMDs at full speed, memory PMDs at the reduced step), and
+//! the rail voltage (from the characterized [`PolicyTable`]).
+//!
+//! **Fail-safe ordering.** Because the rail is chip-wide and the safe
+//! Vmin depends on what is about to run, the daemon computes a
+//! *transition* voltage that is safe for the current configuration, the
+//! target configuration, and every intermediate step (the union of
+//! utilized PMDs at the worse frequency class). If that exceeds the
+//! current voltage it is raised *before* any placement or frequency
+//! action; the final (possibly lower) voltage is applied only *after*
+//! the new configuration is in place. This is the paper's "first
+//! increase the voltage to the next safe Vmin level, then decrease
+//! according to utilized PMDs" rule, and it is what keeps
+//! `unsafe_time_s == 0` in every evaluation run.
+
+use crate::allocation::{plan_layout, PlanProc, PmdRole};
+use crate::monitor::ClassTracker;
+use crate::policy::PolicyTable;
+use avfs_chip::chip::Chip;
+use avfs_chip::freq::{CppcBehavior, FreqStep, FreqVminClass};
+use avfs_chip::topology::{ChipSpec, CoreSet, PmdId};
+use avfs_sched::driver::{Action, Driver, SysEvent, SystemView};
+use avfs_sched::governor::GovernorMode;
+use avfs_sched::process::{Pid, ProcessState};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Daemon tuning knobs; the constructors on [`Daemon`] pick the paper's
+/// values per chip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DaemonConfig {
+    /// Steer placement and per-PMD frequency (the Placement part).
+    pub control_placement: bool,
+    /// Steer the rail voltage from the policy table.
+    pub control_voltage: bool,
+    /// Frequency step for memory-intensive PMDs (chip-specific: the
+    /// deepest step whose Vmin class pays — 3/8 on X-Gene 2 thanks to
+    /// clock division, 4/8 on X-Gene 3).
+    pub mem_step: FreqStep,
+    /// Step parked on idle PMDs.
+    pub idle_step: FreqStep,
+    /// Apply the fail-safe raise-before / lower-after ordering. Disabling
+    /// this (ablation) applies voltage last unconditionally and produces
+    /// unsafe transitions.
+    pub fail_safe_ordering: bool,
+    /// Extra voltage guard added on top of the characterized table, mV.
+    pub extra_margin_mv: u32,
+    /// Do not bother lowering voltage for gains smaller than this, mV
+    /// (limits SLIMpro traffic; raises are always applied).
+    pub lower_hysteresis_mv: u32,
+}
+
+/// Counters describing what the daemon has done.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DaemonStats {
+    /// Driver invocations.
+    pub invocations: u64,
+    /// Replans that produced at least one action.
+    pub plans: u64,
+    /// Pin actions emitted.
+    pub pins: u64,
+    /// Voltage raises emitted.
+    pub voltage_raises: u64,
+    /// Voltage lowers emitted.
+    pub voltage_lowers: u64,
+    /// Pins dropped because a conflict could not be sequenced this event.
+    pub deferred_pins: u64,
+}
+
+/// The online monitoring + placement daemon.
+#[derive(Debug, Clone)]
+pub struct Daemon {
+    spec: ChipSpec,
+    behavior: CppcBehavior,
+    table: PolicyTable,
+    config: DaemonConfig,
+    tracker: ClassTracker,
+    initialized: bool,
+    stats: DaemonStats,
+    name: String,
+}
+
+impl Daemon {
+    /// Builds a daemon for `chip` with explicit knobs. The policy table
+    /// is produced by the characterization procedure of [`PolicyTable`].
+    pub fn new(chip: &Chip, config: DaemonConfig) -> Self {
+        let name = match (config.control_placement, config.control_voltage) {
+            (true, true) => "optimal",
+            (true, false) => "placement",
+            (false, true) => "safe-vmin",
+            (false, false) => "baseline-daemon",
+        };
+        Daemon {
+            spec: chip.spec().clone(),
+            behavior: chip.behavior(),
+            table: PolicyTable::from_characterization(chip.vmin_model()),
+            config,
+            tracker: ClassTracker::new(),
+            initialized: false,
+            stats: DaemonStats::default(),
+            name: name.to_string(),
+        }
+    }
+
+    /// The chip-appropriate memory-PMD step: the deepest step that still
+    /// buys a Vmin class (3/8 under clock division, otherwise 4/8).
+    pub fn mem_step_for(chip: &Chip) -> FreqStep {
+        match chip.behavior() {
+            CppcBehavior::DivisionBelowHalf => FreqStep::new(3).expect("3 is valid"),
+            // NoBenefitBelowHalf and any future firmware behaviour: going
+            // below half speed buys no voltage, so stop at half.
+            _ => FreqStep::HALF,
+        }
+    }
+
+    /// The paper's **Optimal** configuration: placement + frequency +
+    /// voltage control.
+    pub fn optimal(chip: &Chip) -> Self {
+        Daemon::new(
+            chip,
+            DaemonConfig {
+                control_placement: true,
+                control_voltage: true,
+                mem_step: Self::mem_step_for(chip),
+                idle_step: FreqStep::MIN,
+                fail_safe_ordering: true,
+                extra_margin_mv: 0,
+                lower_hysteresis_mv: 5,
+            },
+        )
+    }
+
+    /// The paper's **Placement** configuration: placement + frequency at
+    /// nominal voltage.
+    pub fn placement_only(chip: &Chip) -> Self {
+        let mut d = Daemon::optimal(chip);
+        d.config.control_voltage = false;
+        d.name = "placement".to_string();
+        d
+    }
+
+    /// The paper's **Safe Vmin** configuration: kernel placement +
+    /// ondemand governor, voltage driven from the characterized table.
+    pub fn safe_vmin_only(chip: &Chip) -> Self {
+        let mut d = Daemon::optimal(chip);
+        d.config.control_placement = false;
+        d.name = "safe-vmin".to_string();
+        d
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> DaemonStats {
+        self.stats
+    }
+
+    /// The daemon's configuration name as an owned string (used by the
+    /// threaded service handle).
+    pub fn name_owned(&self) -> String {
+        self.name.clone()
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &DaemonConfig {
+        &self.config
+    }
+
+    /// Enables or disables the fail-safe raise-before ordering (ablation
+    /// knob; disabling it makes transitions unsafe on purpose).
+    pub fn set_fail_safe_ordering(&mut self, enabled: bool) {
+        self.config.fail_safe_ordering = enabled;
+    }
+
+    /// Overrides the memory-PMD frequency step (threshold/step sweeps).
+    pub fn set_mem_step(&mut self, step: FreqStep) {
+        self.config.mem_step = step;
+    }
+
+    // ------------------------------------------------------------------
+
+    /// All live processes as planner inputs, in pid order.
+    fn plan_procs(&self, view: &SystemView) -> Vec<PlanProc> {
+        view.processes
+            .iter()
+            .map(|p| PlanProc {
+                pid: p.pid,
+                threads: p.threads,
+                class: self.tracker.class_of(p.pid),
+            })
+            .collect()
+    }
+
+    /// The frequency-class of a step program restricted to utilized PMDs.
+    fn freq_class_of(&self, steps: &[FreqStep], utilized: &[PmdId]) -> FreqVminClass {
+        self.behavior.vmin_class_of_steps(
+            utilized
+                .iter()
+                .filter_map(|p| steps.get(p.index()).copied()),
+        )
+    }
+
+    /// Computes the full action list for the current view.
+    ///
+    /// Only meaningful with placement control; the Safe Vmin
+    /// configuration sets its single static voltage at initialization
+    /// and never replans.
+    fn replan(&mut self, view: &SystemView) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if !self.config.control_placement {
+            return actions;
+        }
+
+        // --- Target layout & frequency program. ---
+        let procs = self.plan_procs(view);
+        let layout = plan_layout(&self.spec, &procs);
+        let new_steps: Vec<FreqStep> = layout
+            .pmd_roles
+            .iter()
+            .map(|role| match role {
+                PmdRole::Cpu => FreqStep::MAX,
+                PmdRole::Mem => self.config.mem_step,
+                PmdRole::Idle => self.config.idle_step,
+            })
+            .collect();
+        let pins = self.sequence_pins(view, &layout.assignment);
+        let target_busy = layout.busy_cores();
+
+        // --- Voltage program. ---
+        if self.config.control_voltage && !self.config.fail_safe_ordering {
+            // Ablated mode: placement happens now; voltage is only
+            // reconciled at the next monitoring tick (see
+            // `lazy_voltage_action`), leaving a real unsafe window after
+            // widening reconfigurations — the hazard the paper's
+            // ordering rule exists to prevent.
+            self.push_reconfig(&mut actions, view, &pins, &new_steps);
+        } else if self.config.control_voltage {
+            let current_busy = view.busy_cores();
+            let current_util = current_busy.utilized_pmds(&self.spec);
+            let target_util = target_busy.utilized_pmds(&self.spec);
+            let union_util: Vec<PmdId> = {
+                let union = current_busy.union(target_busy);
+                union.utilized_pmds(&self.spec)
+            };
+
+            let threads_now: usize = view
+                .processes
+                .iter()
+                .filter(|p| p.state == ProcessState::Running)
+                .map(|p| p.threads)
+                .sum();
+            let threads_target = target_busy.len();
+            let margin_threads = threads_now.min(threads_target).max(1);
+
+            // Frequency class: worst of the current program on current
+            // PMDs and the new program on target PMDs.
+            let fc_now = self.freq_class_of(&view.pmd_steps, &current_util);
+            let fc_target = self.freq_class_of(&new_steps, &target_util);
+            let fc_transition = fc_now.max(fc_target);
+
+            let transition_v = self
+                .table
+                .safe_voltage_for_pmds(fc_transition, union_util.len().max(1), margin_threads)
+                .offset(self.config.extra_margin_mv as i32);
+            let final_v = self
+                .table
+                .safe_voltage_for_pmds(fc_target, target_util.len().max(1), threads_target.max(1))
+                .offset(self.config.extra_margin_mv as i32)
+                .min(self.table.nominal());
+            let transition_v = transition_v.min(self.table.nominal());
+
+            if self.config.fail_safe_ordering && transition_v > view.voltage {
+                actions.push(Action::SetVoltage(transition_v));
+                self.stats.voltage_raises += 1;
+            }
+
+            self.push_reconfig(&mut actions, view, &pins, &new_steps);
+
+            // Settle to the final voltage.
+            let settle_from = if self.config.fail_safe_ordering {
+                transition_v.max(view.voltage)
+            } else {
+                view.voltage
+            };
+            if final_v > settle_from
+                || settle_from - final_v >= self.config.lower_hysteresis_mv as i64
+            {
+                actions.push(Action::SetVoltage(final_v));
+                if final_v < settle_from {
+                    self.stats.voltage_lowers += 1;
+                } else {
+                    self.stats.voltage_raises += 1;
+                }
+            }
+        } else {
+            self.push_reconfig(&mut actions, view, &pins, &new_steps);
+        }
+
+        if !actions.is_empty() {
+            self.stats.plans += 1;
+        }
+        actions
+    }
+
+    /// Emits pins and frequency-step changes (only the deltas).
+    fn push_reconfig(
+        &mut self,
+        actions: &mut Vec<Action>,
+        view: &SystemView,
+        pins: &[(Pid, CoreSet)],
+        new_steps: &[FreqStep],
+    ) {
+        // Frequency raises are applied before placement widens onto those
+        // PMDs; lowering order is harmless (both covered by the
+        // transition voltage anyway).
+        if self.config.control_placement {
+            for (i, (&new, &old)) in new_steps.iter().zip(view.pmd_steps.iter()).enumerate() {
+                if new != old {
+                    actions.push(Action::SetPmdStep(PmdId::new(i as u16), new));
+                }
+            }
+        }
+        for &(pid, cores) in pins {
+            actions.push(Action::PinProcess(pid, cores));
+            self.stats.pins += 1;
+        }
+    }
+
+    /// Ablated-mode voltage reconciliation: set the voltage the *current*
+    /// configuration needs, with no awareness of in-flight transitions.
+    fn lazy_voltage_action(&mut self, view: &SystemView) -> Vec<Action> {
+        if !self.config.control_voltage || !self.config.control_placement {
+            return Vec::new();
+        }
+        let busy = view.busy_cores();
+        let util = busy.utilized_pmds(&self.spec);
+        let fc = self.freq_class_of(&view.pmd_steps, &util);
+        let target = self
+            .table
+            .safe_voltage_for_pmds(fc, util.len().max(1), busy.len().max(1))
+            .offset(self.config.extra_margin_mv as i32)
+            .min(self.table.nominal());
+        if target == view.voltage {
+            return Vec::new();
+        }
+        if target > view.voltage {
+            self.stats.voltage_raises += 1;
+        } else {
+            self.stats.voltage_lowers += 1;
+        }
+        vec![Action::SetVoltage(target)]
+    }
+
+    /// Orders pin actions so each lands on cores free at its turn;
+    /// conflicting pins are deferred to the next event.
+    fn sequence_pins(
+        &mut self,
+        view: &SystemView,
+        target: &BTreeMap<Pid, CoreSet>,
+    ) -> Vec<(Pid, CoreSet)> {
+        // Current occupancy per process.
+        let mut occupancy: BTreeMap<Pid, CoreSet> = view
+            .processes
+            .iter()
+            .filter(|p| p.state == ProcessState::Running)
+            .map(|p| (p.pid, p.assigned))
+            .collect();
+        let mut pending: Vec<(Pid, CoreSet)> = target
+            .iter()
+            .filter(|(pid, &cores)| occupancy.get(pid).copied().unwrap_or(CoreSet::EMPTY) != cores)
+            .map(|(&pid, &cores)| (pid, cores))
+            .collect();
+        let mut ordered = Vec::new();
+        // Greedy passes: apply any pin whose target is free of *other*
+        // processes' current cores.
+        for _ in 0..pending.len().max(1) {
+            let mut progressed = false;
+            pending.retain(|&(pid, cores)| {
+                let others = occupancy
+                    .iter()
+                    .filter(|(&q, _)| q != pid)
+                    .fold(CoreSet::EMPTY, |acc, (_, &cs)| acc.union(cs));
+                if cores.intersection(others).is_empty() {
+                    ordered.push((pid, cores));
+                    occupancy.insert(pid, cores);
+                    progressed = true;
+                    false
+                } else {
+                    true
+                }
+            });
+            if !progressed {
+                break;
+            }
+        }
+        self.stats.deferred_pins += pending.len() as u64;
+        ordered
+    }
+}
+
+impl Driver for Daemon {
+    fn on_event(&mut self, view: &SystemView, event: &SysEvent) -> Vec<Action> {
+        self.stats.invocations += 1;
+        let mut actions = Vec::new();
+        if !self.initialized {
+            self.initialized = true;
+            let mode = if self.config.control_placement {
+                GovernorMode::Userspace
+            } else {
+                GovernorMode::Ondemand
+            };
+            actions.push(Action::SetGovernor(mode));
+            if self.config.control_voltage && !self.config.control_placement {
+                // The Safe Vmin configuration: one static undervolt to
+                // the table's universal safe value (§VI-B); ondemand
+                // keeps scheduling, the guardband is simply removed.
+                let v = self
+                    .table
+                    .static_safe_voltage(FreqVminClass::Max)
+                    .offset(self.config.extra_margin_mv as i32)
+                    .min(self.table.nominal());
+                actions.push(Action::SetVoltage(v));
+                self.stats.voltage_lowers += 1;
+            }
+        }
+        self.tracker.refresh(view);
+        match event {
+            SysEvent::ClassChanged(pid, class) => {
+                self.tracker.set(*pid, *class);
+                actions.extend(self.replan(view));
+            }
+            SysEvent::ProcessArrived(_) | SysEvent::ProcessFinished(_) => {
+                actions.extend(self.replan(view));
+            }
+            SysEvent::MonitorTick => {
+                // The monitoring part runs inside the kernel window; the
+                // placement part is only invoked on the three real events
+                // (§VI-A). Except right after initialization, when the
+                // voltage can already be settled for the idle chip.
+                if !actions.is_empty() {
+                    actions.extend(self.replan(view));
+                }
+                if !self.config.fail_safe_ordering {
+                    actions.extend(self.lazy_voltage_action(view));
+                }
+            }
+        }
+        actions
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avfs_chip::presets;
+    use avfs_chip::voltage::Millivolts;
+    use avfs_sched::driver::ProcessView;
+    use avfs_sim::time::SimTime;
+    use avfs_workloads::classify::IntensityClass;
+
+    fn xg3_chip() -> Chip {
+        presets::xgene3().build()
+    }
+
+    fn mk_view(chip: &Chip, procs: Vec<ProcessView>) -> SystemView {
+        SystemView {
+            now: SimTime::ZERO,
+            spec: chip.spec().clone(),
+            voltage: chip.voltage(),
+            pmd_steps: vec![FreqStep::MAX; chip.spec().pmds() as usize],
+            governor: GovernorMode::Userspace,
+            processes: procs,
+        }
+    }
+
+    fn waiting(pid: u64, threads: usize) -> ProcessView {
+        ProcessView {
+            pid: Pid(pid),
+            threads,
+            state: ProcessState::Waiting,
+            assigned: CoreSet::EMPTY,
+            l3c_per_mcycle: None,
+            class: None,
+            arrived_at: SimTime::ZERO,
+        }
+    }
+
+    fn running(pid: u64, cores: CoreSet, class: IntensityClass) -> ProcessView {
+        ProcessView {
+            pid: Pid(pid),
+            threads: cores.len(),
+            state: ProcessState::Running,
+            assigned: cores,
+            l3c_per_mcycle: Some(match class {
+                IntensityClass::CpuIntensive => 200.0,
+                IntensityClass::MemoryIntensive => 15_000.0,
+            }),
+            class: Some(class),
+            arrived_at: SimTime::ZERO,
+        }
+    }
+
+    fn cores(ids: &[u16]) -> CoreSet {
+        ids.iter().map(|&i| avfs_chip::topology::CoreId::new(i)).collect()
+    }
+
+    #[test]
+    fn first_event_switches_governor() {
+        let chip = xg3_chip();
+        let mut d = Daemon::optimal(&chip);
+        let view = mk_view(&chip, vec![]);
+        let acts = d.on_event(&view, &SysEvent::MonitorTick);
+        assert!(matches!(
+            acts.first(),
+            Some(Action::SetGovernor(GovernorMode::Userspace))
+        ));
+        // Safe-vmin keeps ondemand.
+        let mut sv = Daemon::safe_vmin_only(&chip);
+        let acts = sv.on_event(&view, &SysEvent::MonitorTick);
+        assert!(matches!(
+            acts.first(),
+            Some(Action::SetGovernor(GovernorMode::Ondemand))
+        ));
+    }
+
+    #[test]
+    fn arrival_raises_voltage_before_placement() {
+        let chip = xg3_chip();
+        let mut d = Daemon::optimal(&chip);
+        let view0 = mk_view(&chip, vec![]);
+        let _ = d.on_event(&view0, &SysEvent::MonitorTick); // init & settle
+
+        // Rail sits low for an idle chip; a 4-thread arrival must raise
+        // voltage before the pin lands.
+        let mut view = mk_view(&chip, vec![waiting(1, 4)]);
+        view.voltage = Millivolts::new(790);
+        let acts = d.on_event(&view, &SysEvent::ProcessArrived(Pid(1)));
+        let v_pos = acts
+            .iter()
+            .position(|a| matches!(a, Action::SetVoltage(v) if *v > Millivolts::new(790)));
+        let pin_pos = acts
+            .iter()
+            .position(|a| matches!(a, Action::PinProcess(..)));
+        assert!(v_pos.is_some(), "no raise in {acts:?}");
+        assert!(pin_pos.is_some(), "no pin in {acts:?}");
+        assert!(v_pos.unwrap() < pin_pos.unwrap(), "raise must precede pin");
+    }
+
+    #[test]
+    fn finish_lowers_voltage_after_reconfig() {
+        let chip = xg3_chip();
+        let mut d = Daemon::optimal(&chip);
+        let _ = d.on_event(&mk_view(&chip, vec![]), &SysEvent::MonitorTick);
+
+        // One clustered cpu proc remains after another finished; the rail
+        // still sits at the wider configuration's voltage.
+        let mut view = mk_view(
+            &chip,
+            vec![running(1, cores(&[0, 1]), IntensityClass::CpuIntensive)],
+        );
+        view.voltage = Millivolts::new(830);
+        let acts = d.on_event(&view, &SysEvent::ProcessFinished(Pid(9)));
+        let lower = acts
+            .iter()
+            .filter_map(|a| match a {
+                Action::SetVoltage(v) => Some(*v),
+                _ => None,
+            })
+            .next_back();
+        assert!(lower.is_some(), "expected a settle voltage in {acts:?}");
+        assert!(lower.unwrap() < Millivolts::new(830));
+        // And it must be the LAST action.
+        assert!(matches!(acts.last(), Some(Action::SetVoltage(_))));
+    }
+
+    #[test]
+    fn memory_class_gets_reduced_step_cpu_gets_max() {
+        let chip = xg3_chip();
+        let mut d = Daemon::placement_only(&chip);
+        let _ = d.on_event(&mk_view(&chip, vec![]), &SysEvent::MonitorTick);
+        let view = mk_view(
+            &chip,
+            vec![
+                running(1, cores(&[0, 1]), IntensityClass::CpuIntensive),
+                running(2, cores(&[30]), IntensityClass::MemoryIntensive),
+            ],
+        );
+        let acts = d.on_event(&view, &SysEvent::ClassChanged(Pid(2), IntensityClass::MemoryIntensive));
+        // PMD15 (core 30) must be programmed to the mem step (HALF on XG3).
+        assert!(
+            acts.iter().any(|a| matches!(
+                a,
+                Action::SetPmdStep(p, s) if p.index() == 15 && *s == FreqStep::HALF
+            )),
+            "no mem-step action in {acts:?}"
+        );
+        // No voltage actions in placement-only mode.
+        assert!(!acts.iter().any(|a| matches!(a, Action::SetVoltage(_))));
+    }
+
+    #[test]
+    fn xgene2_mem_step_uses_clock_division() {
+        let x2 = presets::xgene2().build();
+        assert_eq!(Daemon::mem_step_for(&x2).numerator(), 3);
+        let x3 = xg3_chip();
+        assert_eq!(Daemon::mem_step_for(&x3), FreqStep::HALF);
+    }
+
+    #[test]
+    fn replan_is_quiescent_when_nothing_changes() {
+        let chip = xg3_chip();
+        let mut d = Daemon::optimal(&chip);
+        let _ = d.on_event(&mk_view(&chip, vec![]), &SysEvent::MonitorTick);
+
+        // A view that already matches the daemon's plan: cpu proc
+        // clustered on PMD0 at MAX, voltage settled.
+        let mut view = mk_view(
+            &chip,
+            vec![running(1, cores(&[0, 1]), IntensityClass::CpuIntensive)],
+        );
+        view.pmd_steps = {
+            let mut s = vec![FreqStep::MIN; 16];
+            s[0] = FreqStep::MAX;
+            s
+        };
+        view.voltage = d
+            .table
+            .safe_voltage_for_pmds(FreqVminClass::Max, 1, 2);
+        let acts = d.on_event(&view, &SysEvent::MonitorTick);
+        assert!(acts.is_empty(), "unexpected actions: {acts:?}");
+    }
+
+    #[test]
+    fn sequencing_avoids_core_conflicts() {
+        let chip = xg3_chip();
+        let mut d = Daemon::optimal(&chip);
+        let _ = d.on_event(&mk_view(&chip, vec![]), &SysEvent::MonitorTick);
+        // A mem proc currently sits on PMD0 (where cpu procs belong); a
+        // cpu proc arrives. The plan moves mem to the top and cpu to the
+        // bottom; pins must sequence so no pin targets occupied cores.
+        let view = mk_view(
+            &chip,
+            vec![
+                running(1, cores(&[0]), IntensityClass::MemoryIntensive),
+                waiting(2, 2),
+            ],
+        );
+        let acts = d.on_event(&view, &SysEvent::ProcessArrived(Pid(2)));
+        // Replay the pins over an occupancy map and check validity.
+        let mut occupancy: BTreeMap<Pid, CoreSet> =
+            [(Pid(1), cores(&[0]))].into_iter().collect();
+        for a in &acts {
+            if let Action::PinProcess(pid, cs) = a {
+                let others = occupancy
+                    .iter()
+                    .filter(|(&q, _)| q != *pid)
+                    .fold(CoreSet::EMPTY, |acc, (_, &c)| acc.union(c));
+                assert!(
+                    cs.intersection(others).is_empty(),
+                    "pin {pid}->{cs} conflicts"
+                );
+                occupancy.insert(*pid, *cs);
+            }
+        }
+        // Both processes placed.
+        assert_eq!(occupancy.len(), 2);
+    }
+
+    #[test]
+    fn safe_vmin_mode_sets_one_static_undervolt() {
+        let chip = xg3_chip();
+        let mut d = Daemon::safe_vmin_only(&chip);
+        let view = mk_view(&chip, vec![]);
+        let acts = d.on_event(&view, &SysEvent::MonitorTick);
+        // Init: ondemand governor + one static voltage below nominal but
+        // at or above the worst-case multicore Vmin (Table II: 830 mV).
+        let v = acts
+            .iter()
+            .find_map(|a| match a {
+                Action::SetVoltage(v) => Some(*v),
+                _ => None,
+            })
+            .expect("static undervolt expected");
+        assert!(v >= Millivolts::new(830) && v < Millivolts::new(870), "{v}");
+        // Subsequent events are quiescent: no pins, no voltage churn.
+        let view2 = mk_view(&chip, (1..=8).map(|i| waiting(i, 1)).collect());
+        let acts2 = d.on_event(&view2, &SysEvent::ProcessArrived(Pid(8)));
+        assert!(acts2.is_empty(), "unexpected actions: {acts2:?}");
+    }
+
+    #[test]
+    fn static_undervolt_is_safe_for_any_allocation() {
+        // The static Safe Vmin voltage must satisfy the chip's real safe
+        // Vmin for every allocation width at full speed.
+        let chip = xg3_chip();
+        let d = Daemon::safe_vmin_only(&chip);
+        let v = d.table.static_safe_voltage(FreqVminClass::Max);
+        for n in 1..=32u16 {
+            let busy = CoreSet::first_n(n);
+            let mut c = presets::xgene3().build();
+            c.set_voltage(v).unwrap();
+            assert!(
+                c.is_voltage_safe_for(busy),
+                "static {v} unsafe for {n} cores"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let chip = xg3_chip();
+        let mut d = Daemon::optimal(&chip);
+        let view = mk_view(&chip, vec![waiting(1, 2)]);
+        let _ = d.on_event(&view, &SysEvent::ProcessArrived(Pid(1)));
+        let s = d.stats();
+        assert_eq!(s.invocations, 1);
+        assert!(s.plans >= 1);
+        assert!(s.pins >= 1);
+    }
+
+    #[test]
+    fn names_identify_configs() {
+        let chip = xg3_chip();
+        assert_eq!(Daemon::optimal(&chip).name(), "optimal");
+        assert_eq!(Daemon::placement_only(&chip).name(), "placement");
+        assert_eq!(Daemon::safe_vmin_only(&chip).name(), "safe-vmin");
+    }
+}

@@ -1,0 +1,171 @@
+//! The Monitoring part of the daemon (§VI-A).
+//!
+//! On real hardware this is a kernel module that reads one PMU register,
+//! waits 1 M cycles, reads it again, and subtracts. In the reproduction
+//! the substrate's monitoring windows surface the same L3C-per-1M-cycles
+//! rates through the driver view; [`ClassTracker`] keeps the daemon's own
+//! record of each process's class — defaulting new, not-yet-measured
+//! processes to CPU-intensive, which is the conservative choice (full
+//! frequency, clustered placement, no undervolt assumption).
+
+use avfs_sched::driver::SystemView;
+use avfs_sched::process::Pid;
+use avfs_workloads::classify::IntensityClass;
+use std::collections::BTreeMap;
+
+/// The daemon's record of process classifications.
+#[derive(Debug, Clone, Default)]
+pub struct ClassTracker {
+    classes: BTreeMap<Pid, IntensityClass>,
+}
+
+impl ClassTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        ClassTracker::default()
+    }
+
+    /// The class the daemon assumes for a process (CPU-intensive until
+    /// measured otherwise).
+    pub fn class_of(&self, pid: Pid) -> IntensityClass {
+        self.classes
+            .get(&pid)
+            .copied()
+            .unwrap_or(IntensityClass::CpuIntensive)
+    }
+
+    /// Ingests the latest view: refreshes known classes and drops
+    /// processes that left the system. Returns pids whose class changed
+    /// since the last refresh.
+    pub fn refresh(&mut self, view: &SystemView) -> Vec<Pid> {
+        let mut changed = Vec::new();
+        let mut next = BTreeMap::new();
+        for p in &view.processes {
+            let class = p.class.unwrap_or_else(|| self.class_of(p.pid));
+            if let Some(&old) = self.classes.get(&p.pid) {
+                if old != class {
+                    changed.push(p.pid);
+                }
+            }
+            next.insert(p.pid, class);
+        }
+        self.classes = next;
+        changed
+    }
+
+    /// Records an explicit class-change notification.
+    pub fn set(&mut self, pid: Pid, class: IntensityClass) {
+        self.classes.insert(pid, class);
+    }
+
+    /// Number of tracked processes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// True when no processes are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Counts `(cpu_intensive, memory_intensive)` among tracked
+    /// processes.
+    pub fn counts(&self) -> (usize, usize) {
+        let mem = self
+            .classes
+            .values()
+            .filter(|c| **c == IntensityClass::MemoryIntensive)
+            .count();
+        (self.classes.len() - mem, mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avfs_chip::presets;
+    use avfs_chip::topology::CoreSet;
+    use avfs_chip::voltage::Millivolts;
+    use avfs_sched::driver::ProcessView;
+    use avfs_sched::governor::GovernorMode;
+    use avfs_sched::process::ProcessState;
+    use avfs_sim::time::SimTime;
+
+    fn view_with(classes: &[(u64, Option<IntensityClass>)]) -> SystemView {
+        SystemView {
+            now: SimTime::ZERO,
+            spec: presets::xgene2().spec().clone(),
+            voltage: Millivolts::new(980),
+            pmd_steps: vec![avfs_chip::freq::FreqStep::MAX; 4],
+            governor: GovernorMode::Userspace,
+            processes: classes
+                .iter()
+                .map(|&(pid, class)| ProcessView {
+                    pid: Pid(pid),
+                    threads: 1,
+                    state: ProcessState::Running,
+                    assigned: CoreSet::EMPTY,
+                    l3c_per_mcycle: None,
+                    class,
+                    arrived_at: SimTime::ZERO,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn unknown_processes_default_to_cpu() {
+        let t = ClassTracker::new();
+        assert_eq!(t.class_of(Pid(42)), IntensityClass::CpuIntensive);
+    }
+
+    #[test]
+    fn refresh_tracks_and_reports_changes() {
+        let mut t = ClassTracker::new();
+        let v1 = view_with(&[(1, None), (2, Some(IntensityClass::MemoryIntensive))]);
+        let changed = t.refresh(&v1);
+        assert!(changed.is_empty(), "first sighting is not a change");
+        assert_eq!(t.class_of(Pid(1)), IntensityClass::CpuIntensive);
+        assert_eq!(t.class_of(Pid(2)), IntensityClass::MemoryIntensive);
+
+        let v2 = view_with(&[
+            (1, Some(IntensityClass::MemoryIntensive)),
+            (2, Some(IntensityClass::MemoryIntensive)),
+        ]);
+        let changed = t.refresh(&v2);
+        assert_eq!(changed, vec![Pid(1)]);
+    }
+
+    #[test]
+    fn refresh_drops_departed_processes() {
+        let mut t = ClassTracker::new();
+        t.refresh(&view_with(&[(1, None), (2, None)]));
+        assert_eq!(t.len(), 2);
+        t.refresh(&view_with(&[(2, None)]));
+        assert_eq!(t.len(), 1);
+        // Departed pid falls back to the default.
+        assert_eq!(t.class_of(Pid(1)), IntensityClass::CpuIntensive);
+    }
+
+    #[test]
+    fn unmeasured_class_persists_across_refreshes() {
+        let mut t = ClassTracker::new();
+        t.set(Pid(1), IntensityClass::MemoryIntensive);
+        // View has no measurement yet: the daemon keeps its record.
+        let changed = t.refresh(&view_with(&[(1, None)]));
+        assert!(changed.is_empty());
+        assert_eq!(t.class_of(Pid(1)), IntensityClass::MemoryIntensive);
+    }
+
+    #[test]
+    fn counts_by_class() {
+        let mut t = ClassTracker::new();
+        t.refresh(&view_with(&[
+            (1, None),
+            (2, Some(IntensityClass::MemoryIntensive)),
+            (3, Some(IntensityClass::MemoryIntensive)),
+        ]));
+        assert_eq!(t.counts(), (1, 2));
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,232 @@
+//! The daemon as a service: running the Placement logic on its own
+//! thread, the way the real `avfsd` runs as a userspace process.
+//!
+//! The simulator calls drivers synchronously, but on a real machine the
+//! daemon is a separate process: the kernel-module sampler and the
+//! process-event watcher feed it events, and it answers with placement /
+//! V-F commands. [`DaemonService`] reproduces that deployment shape:
+//!
+//! * events flow in over a crossbeam channel;
+//! * the daemon state lives behind a `parking_lot::Mutex` shared with a
+//!   [`ServiceHandle`] that implements [`Driver`], so the simulator (or
+//!   several simulators in tests) can talk to one long-lived daemon
+//!   thread;
+//! * shutting down is explicit and non-blocking-safe (dropping the
+//!   handle never deadlocks the worker).
+//!
+//! This module is deliberately a thin concurrency shell: all policy
+//! stays in [`Daemon`], which keeps the single-threaded driver and the
+//! threaded service bit-for-bit identical in their decisions.
+
+use crate::daemon::Daemon;
+use avfs_sched::driver::{Action, Driver, SysEvent, SystemView};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A request to the daemon thread.
+enum Request {
+    /// Handle one event against a view; reply with the actions.
+    Event {
+        view: Box<SystemView>,
+        event: SysEvent,
+        reply: Sender<Vec<Action>>,
+    },
+    /// Stop the worker.
+    Shutdown,
+}
+
+/// The daemon running on its own thread.
+#[derive(Debug)]
+pub struct DaemonService {
+    tx: Sender<Request>,
+    worker: Option<JoinHandle<()>>,
+    daemon: Arc<Mutex<Daemon>>,
+}
+
+impl DaemonService {
+    /// Spawns the service around a configured daemon.
+    pub fn spawn(daemon: Daemon) -> DaemonService {
+        let daemon = Arc::new(Mutex::new(daemon));
+        let worker_daemon = Arc::clone(&daemon);
+        let (tx, rx): (Sender<Request>, Receiver<Request>) = bounded(16);
+        let worker = std::thread::Builder::new()
+            .name("avfsd".to_string())
+            .spawn(move || {
+                while let Ok(req) = rx.recv() {
+                    match req {
+                        Request::Event { view, event, reply } => {
+                            let actions = worker_daemon.lock().on_event(&view, &event);
+                            // A dropped reply receiver just means the
+                            // caller gave up; the daemon state is already
+                            // updated either way.
+                            let _ = reply.send(actions);
+                        }
+                        Request::Shutdown => break,
+                    }
+                }
+            })
+            .expect("spawn daemon worker");
+        DaemonService {
+            tx,
+            worker: Some(worker),
+            daemon,
+        }
+    }
+
+    /// A [`Driver`] handle that forwards events to the daemon thread and
+    /// waits for its decisions. Multiple handles may coexist.
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle {
+            tx: self.tx.clone(),
+            name: self.daemon.lock().name_owned(),
+        }
+    }
+
+    /// Snapshot of the daemon's activity counters.
+    pub fn stats(&self) -> crate::daemon::DaemonStats {
+        self.daemon.lock().stats()
+    }
+
+    /// Stops the worker thread and waits for it to exit.
+    ///
+    /// Idempotent; also invoked on drop.
+    pub fn shutdown(&mut self) {
+        let _ = self.tx.send(Request::Shutdown);
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for DaemonService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A cloneable driver endpoint for a [`DaemonService`].
+#[derive(Debug, Clone)]
+pub struct ServiceHandle {
+    tx: Sender<Request>,
+    name: String,
+}
+
+impl Driver for ServiceHandle {
+    fn on_event(&mut self, view: &SystemView, event: &SysEvent) -> Vec<Action> {
+        let (reply_tx, reply_rx) = bounded(1);
+        let sent = self.tx.send(Request::Event {
+            view: Box::new(view.clone()),
+            event: *event,
+            reply: reply_tx,
+        });
+        if sent.is_err() {
+            // Service already shut down: fail open with no actions, as a
+            // real system would keep running without its daemon.
+            return Vec::new();
+        }
+        reply_rx.recv().unwrap_or_default()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avfs_chip::presets;
+    use avfs_sched::system::{System, SystemConfig};
+    use avfs_sim::time::SimDuration;
+    use avfs_workloads::generator::{GeneratorConfig, WorkloadTrace};
+    use avfs_workloads::PerfModel;
+
+    fn small_trace(seed: u64) -> WorkloadTrace {
+        let mut cfg = GeneratorConfig::paper_default(8, seed);
+        cfg.duration = SimDuration::from_secs(120);
+        cfg.job_scale = 0.15;
+        WorkloadTrace::generate(&cfg)
+    }
+
+    #[test]
+    fn threaded_daemon_matches_inline_daemon_exactly() {
+        let trace = small_trace(7);
+
+        // Inline driver.
+        let chip = presets::xgene2().build();
+        let mut inline = Daemon::optimal(&chip);
+        let mut sys1 = System::new(
+            presets::xgene2().build(),
+            PerfModel::xgene2(),
+            SystemConfig::default(),
+        );
+        let m1 = sys1.run(&trace, &mut inline);
+
+        // Same daemon behind the service thread.
+        let mut service = DaemonService::spawn(Daemon::optimal(&chip));
+        let mut handle = service.handle();
+        let mut sys2 = System::new(
+            presets::xgene2().build(),
+            PerfModel::xgene2(),
+            SystemConfig::default(),
+        );
+        let m2 = sys2.run(&trace, &mut handle);
+        service.shutdown();
+
+        assert_eq!(m1.energy_j.to_bits(), m2.energy_j.to_bits());
+        assert_eq!(m1.makespan, m2.makespan);
+        assert_eq!(m1.migrations, m2.migrations);
+        assert_eq!(m1.unsafe_time_s, 0.0);
+        assert_eq!(m2.unsafe_time_s, 0.0);
+    }
+
+    #[test]
+    fn service_reports_stats() {
+        let chip = presets::xgene3().build();
+        let mut service = DaemonService::spawn(Daemon::optimal(&chip));
+        let mut handle = service.handle();
+        let mut sys = System::new(
+            presets::xgene3().build(),
+            PerfModel::xgene3(),
+            SystemConfig::default(),
+        );
+        let mut cfg = GeneratorConfig::paper_default(32, 3);
+        cfg.duration = SimDuration::from_secs(60);
+        cfg.job_scale = 0.1;
+        let trace = WorkloadTrace::generate(&cfg);
+        let _ = sys.run(&trace, &mut handle);
+        let stats = service.stats();
+        assert!(stats.invocations > 0);
+        assert!(stats.plans > 0);
+    }
+
+    #[test]
+    fn handle_fails_open_after_shutdown() {
+        let chip = presets::xgene2().build();
+        let mut service = DaemonService::spawn(Daemon::optimal(&chip));
+        let mut handle = service.handle();
+        service.shutdown();
+        // A view to poke the dead service with.
+        let view = SystemView {
+            now: avfs_sim::time::SimTime::ZERO,
+            spec: chip.spec().clone(),
+            voltage: chip.voltage(),
+            pmd_steps: vec![avfs_chip::FreqStep::MAX; 4],
+            governor: avfs_sched::governor::GovernorMode::Userspace,
+            processes: vec![],
+        };
+        let actions = handle.on_event(&view, &SysEvent::MonitorTick);
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_safe() {
+        let chip = presets::xgene2().build();
+        let mut service = DaemonService::spawn(Daemon::optimal(&chip));
+        service.shutdown();
+        service.shutdown();
+        drop(service); // must not hang or panic
+    }
+}

@@ -1,0 +1,157 @@
+//! Experiment runner: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! exp [--quick] [--csv DIR] [--seed N] <id>...
+//! exp all                # every artifact
+//! exp table3 table4      # just the headline tables
+//! ```
+//!
+//! Artifact ids: `table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
+//! fig11 fig12 fig14 fig15 table3 table4 ablations`.
+
+use avfs_chip::vmin::DroopClass;
+use avfs_experiments::report::Table;
+use avfs_experiments::{
+    ablations, characterization, droops, energy, factors, perfchar, server_eval, tables, Machine,
+    Scale,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    scale: Scale,
+    csv_dir: Option<PathBuf>,
+    seed: u64,
+    ids: Vec<String>,
+}
+
+const ALL_IDS: [&str; 16] = [
+    "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "fig14", "fig15", "table3", "table4",
+];
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        scale: Scale::Paper,
+        csv_dir: None,
+        seed: 2024,
+        ids: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.scale = Scale::Quick,
+            "--csv" => {
+                let dir = args.next().ok_or("--csv needs a directory")?;
+                opts.csv_dir = Some(PathBuf::from(dir));
+            }
+            "--seed" => {
+                let seed = args.next().ok_or("--seed needs a value")?;
+                opts.seed = seed.parse().map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "all" => opts
+                .ids
+                .extend(ALL_IDS.iter().map(|s| s.to_string()).chain(["ablations".into()])),
+            "--help" | "-h" => {
+                println!(
+                    "usage: exp [--quick] [--csv DIR] [--seed N] <id>...\n  ids: {} ablations all",
+                    ALL_IDS.join(" ")
+                );
+                std::process::exit(0);
+            }
+            id => opts.ids.push(id.to_string()),
+        }
+    }
+    if opts.ids.is_empty() {
+        return Err("no experiment ids given (try `exp all` or `exp --help`)".into());
+    }
+    Ok(opts)
+}
+
+fn emit(tables: Vec<Table>, csv_dir: &Option<PathBuf>) {
+    for t in tables {
+        println!("{t}");
+        if let Some(dir) = csv_dir {
+            if let Err(e) = t.write_csv(dir) {
+                eprintln!("warning: could not write {}.csv: {e}", t.id);
+            }
+            if let Err(e) = t.write_json(dir) {
+                eprintln!("warning: could not write {}.json: {e}", t.id);
+            }
+        }
+    }
+}
+
+fn run_id(id: &str, opts: &Options) -> Result<Vec<Table>, String> {
+    let scale = opts.scale;
+    let seed = opts.seed;
+    Ok(match id {
+        "table1" => vec![tables::table1()],
+        "table2" => vec![tables::table2(), tables::table2_policy()],
+        "fig3" => Machine::BOTH
+            .iter()
+            .map(|&m| characterization::fig3(m, scale))
+            .collect(),
+        "fig4" => vec![characterization::fig4(scale)],
+        "fig5" => Machine::BOTH
+            .iter()
+            .map(|&m| characterization::fig5(m, scale))
+            .collect(),
+        "fig6" => vec![
+            droops::fig6(DroopClass::D55, scale),
+            droops::fig6(DroopClass::D45, scale),
+        ],
+        "fig7" => vec![energy::fig7()],
+        "fig8" => Machine::BOTH
+            .iter()
+            .map(|&m| perfchar::fig8(m, scale))
+            .collect(),
+        "fig9" => vec![perfchar::fig9(Machine::XGene3, scale)],
+        "fig10" => Machine::BOTH.iter().map(|&m| factors::fig10(m)).collect(),
+        "fig11" => Machine::BOTH.iter().map(|&m| energy::fig11(m)).collect(),
+        "fig12" => Machine::BOTH.iter().map(|&m| energy::fig12(m)).collect(),
+        "fig14" => {
+            let results = server_eval::evaluate(Machine::XGene3, scale, seed);
+            vec![server_eval::fig14(&results, 60)]
+        }
+        "fig15" => {
+            let results = server_eval::evaluate(Machine::XGene3, scale, seed);
+            vec![server_eval::fig15(&results, 60)]
+        }
+        "table3" => vec![server_eval::table3_4(Machine::XGene2, scale, seed).0],
+        "table4" => vec![server_eval::table3_4(Machine::XGene3, scale, seed).0],
+        "ablations" => {
+            let mut out = Vec::new();
+            for m in Machine::BOTH {
+                out.push(ablations::fail_safe_ablation(m, scale, seed));
+                out.push(ablations::guardband_sweep(m, scale, seed));
+                out.push(ablations::threshold_sweep(m, scale, seed));
+                out.push(ablations::migration_cost_sweep(m, scale, seed));
+                out.push(ablations::cross_specimen(m, scale, seed));
+            }
+            out
+        }
+        other => return Err(format!("unknown experiment id `{other}`")),
+    })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for id in opts.ids.clone() {
+        eprintln!("== running {id} ({:?} scale) ==", opts.scale);
+        match run_id(&id, &opts) {
+            Ok(tables) => emit(tables, &opts.csv_dir),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,126 @@
+//! Figure 6: voltage-droop detections per magnitude band.
+//!
+//! The paper's key §IV-A evidence: configurations utilizing all 16 PMDs
+//! (32T, 16T-spreaded) produce droops in the [55, 65) mV band for *every*
+//! program, while 16T-clustered (8 PMDs) produces almost none there —
+//! and one band down the same pattern repeats between 16T-clustered /
+//! 8T-spreaded and 8T-clustered.
+
+use crate::characterization::{CharConfig, ThreadAlloc};
+use crate::report::{Cell, Table};
+use crate::{Machine, Scale};
+use avfs_chip::freq::FreqStep;
+use avfs_chip::vmin::DroopClass;
+use avfs_sim::RngStream;
+use avfs_workloads::catalog::Benchmark;
+
+/// The Figure 6 configurations (X-Gene 3 at 3 GHz).
+pub fn fig6_configs() -> Vec<CharConfig> {
+    vec![
+        CharConfig {
+            threads: 32,
+            alloc: ThreadAlloc::Clustered,
+            step: FreqStep::MAX,
+        },
+        CharConfig {
+            threads: 16,
+            alloc: ThreadAlloc::Spreaded,
+            step: FreqStep::MAX,
+        },
+        CharConfig {
+            threads: 16,
+            alloc: ThreadAlloc::Clustered,
+            step: FreqStep::MAX,
+        },
+        CharConfig {
+            threads: 8,
+            alloc: ThreadAlloc::Spreaded,
+            step: FreqStep::MAX,
+        },
+        CharConfig {
+            threads: 8,
+            alloc: ThreadAlloc::Clustered,
+            step: FreqStep::MAX,
+        },
+    ]
+}
+
+/// Figure 6: droop detections per 1 M cycles in the `band` magnitude
+/// band, per benchmark and configuration.
+pub fn fig6(band: DroopClass, scale: Scale) -> Table {
+    let chip = Machine::XGene3.chip_builder().build();
+    let configs = fig6_configs();
+    let (lo, hi) = band.magnitude_band_mv();
+    let mut headers = vec!["benchmark".to_string()];
+    headers.extend(configs.iter().map(|c| c.label(chip.spec())));
+    let mut table = Table {
+        id: format!("fig06-band{lo}"),
+        title: format!(
+            "Figure 6 — droop detections per 1M cycles in [{lo}mV,{hi}mV), X-Gene 3 @3GHz"
+        ),
+        headers,
+        rows: Vec::new(),
+    };
+    let mut rng = RngStream::from_root(61, "fig6");
+    let cycles = scale.droop_cycles();
+    for bench in Benchmark::characterized() {
+        let profile = bench.profile();
+        let mut row: Vec<Cell> = vec![bench.name().into()];
+        for config in &configs {
+            let utilized = config.alloc.utilized_pmds(chip.spec(), config.threads);
+            let class = chip.vmin_model().droop_class(utilized);
+            let counts = chip
+                .droop_model()
+                .sample(class, profile.activity, cycles, &mut rng);
+            let per_mcycle = counts.in_band(band) as f64 / (cycles as f64 / 1e6);
+            row.push(Cell::f(per_mcycle, 2));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_band_signature() {
+        // [55,65): 32T and 16T-spreaded show droops, 16T-clustered ~none.
+        let t = fig6(DroopClass::D55, Scale::Quick);
+        for bench in ["namd", "CG", "EP"] {
+            let full = t.value(bench, "32T@3.0GHz").unwrap();
+            let spread = t.value(bench, "16T(spreaded)@3.0GHz").unwrap();
+            let clust = t.value(bench, "16T(clustered)@3.0GHz").unwrap();
+            assert!(full > 10.0, "{bench}: {full}");
+            assert!(spread > 10.0, "{bench}: {spread}");
+            assert!(clust < full / 20.0, "{bench}: clustered {clust}");
+        }
+    }
+
+    #[test]
+    fn mid_band_signature() {
+        // [45,55): 16T-clustered and 8T-spreaded show droops, 8T-clustered ~none.
+        let t = fig6(DroopClass::D45, Scale::Quick);
+        for bench in ["milc", "FT"] {
+            let c16 = t.value(bench, "16T(clustered)@3.0GHz").unwrap();
+            let s8 = t.value(bench, "8T(spreaded)@3.0GHz").unwrap();
+            let c8 = t.value(bench, "8T(clustered)@3.0GHz").unwrap();
+            assert!(c16 > 10.0);
+            assert!(s8 > 10.0);
+            assert!(c8 < c16 / 20.0, "{bench}: 8T clustered {c8}");
+        }
+    }
+
+    #[test]
+    fn pattern_is_workload_independent() {
+        // Every benchmark shows the same qualitative signature — the
+        // paper's workload-independence claim.
+        let t = fig6(DroopClass::D55, Scale::Quick);
+        for row in &t.rows {
+            let full = row[1].as_f64().unwrap();
+            let clust16 = row[3].as_f64().unwrap();
+            assert!(full > clust16, "row {:?}", row[0]);
+        }
+    }
+}

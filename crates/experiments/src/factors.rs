@@ -1,0 +1,133 @@
+//! Figure 10: decomposition of the safe-Vmin dependence.
+//!
+//! The paper quantifies, on the X-Gene 2, how much each factor moves the
+//! safe Vmin: clock division ≈12 %, one clock-skipping step ≈3 %, core
+//! allocation ≈4 %, workload ≤1 % (in multicore execution). This harness
+//! recomputes those percentages from the calibrated Vmin surface.
+
+use crate::report::{Cell, Table};
+use crate::Machine;
+use avfs_chip::freq::FreqVminClass;
+use avfs_chip::vmin::VminQuery;
+
+/// Figure 10: the magnitude of each Vmin factor, percent of the
+/// max-frequency safe Vmin.
+pub fn fig10(machine: Machine) -> Table {
+    let chip = machine.chip_builder().build();
+    let model = chip.vmin_model();
+    let pmds = chip.spec().pmds() as usize;
+    let cores = chip.spec().cores as usize;
+
+    let q_base = VminQuery {
+        freq_class: FreqVminClass::Max,
+        utilized_pmds: pmds,
+        active_threads: cores,
+        workload_sensitivity: 0.0,
+    };
+    let v_max = model.safe_vmin(&q_base).as_mv() as f64;
+
+    // Frequency: one skipping step (max → half speed).
+    let v_reduced = model
+        .safe_vmin(&VminQuery {
+            freq_class: FreqVminClass::Reduced,
+            ..q_base
+        })
+        .as_mv() as f64;
+    // Clock division (below half speed, where the chip supports it).
+    let v_divided = model
+        .safe_vmin(&VminQuery {
+            freq_class: FreqVminClass::Divided,
+            ..q_base
+        })
+        .as_mv() as f64;
+    // Core allocation: full chip vs half the PMDs at the same threads.
+    let v_half_pmds = model
+        .safe_vmin(&VminQuery {
+            utilized_pmds: (pmds / 2).max(1),
+            active_threads: cores / 2,
+            ..q_base
+        })
+        .as_mv() as f64;
+    // Workload: the spread across benchmarks in multicore execution.
+    let v_wl_hi = model
+        .safe_vmin(&VminQuery {
+            workload_sensitivity: 1.0,
+            ..q_base
+        })
+        .as_mv() as f64;
+    let v_wl_lo = model
+        .safe_vmin(&VminQuery {
+            workload_sensitivity: -1.0,
+            ..q_base
+        })
+        .as_mv() as f64;
+
+    let pct = |delta: f64| delta / v_max * 100.0;
+    let mut table = Table {
+        id: format!("fig10-{}", machine.name().to_lowercase().replace(' ', "")),
+        title: format!("Figure 10 — magnitude of Vmin dependence, {machine}"),
+        headers: vec!["factor".into(), "Vmin reduction (%)".into()],
+        rows: Vec::new(),
+    };
+    table.push_row(vec![
+        "clock division (total below half speed)".into(),
+        Cell::f(pct(v_max - v_divided), 1),
+    ]);
+    table.push_row(vec![
+        "frequency (one clock-skipping step)".into(),
+        Cell::f(pct(v_max - v_reduced), 1),
+    ]);
+    table.push_row(vec![
+        "core allocation (full vs half PMDs)".into(),
+        Cell::f(pct(v_max - v_half_pmds), 1),
+    ]);
+    table.push_row(vec![
+        "workload (multicore spread)".into(),
+        Cell::f(pct(v_wl_hi - v_wl_lo), 1),
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xgene2_percentages_match_figure10() {
+        let t = fig10(Machine::XGene2);
+        let division = t
+            .value("clock division (total below half speed)", "Vmin reduction (%)")
+            .unwrap();
+        let skip = t
+            .value("frequency (one clock-skipping step)", "Vmin reduction (%)")
+            .unwrap();
+        let alloc = t
+            .value("core allocation (full vs half PMDs)", "Vmin reduction (%)")
+            .unwrap();
+        let workload = t
+            .value("workload (multicore spread)", "Vmin reduction (%)")
+            .unwrap();
+        // Paper: division ≈ 12–15 %, skipping ≈ 3 %, allocation ≈ 4 %,
+        // workload ≤ 1 %.
+        assert!((10.0..=17.0).contains(&division), "division {division}");
+        assert!((2.0..=4.5).contains(&skip), "skip {skip}");
+        assert!((2.5..=5.5).contains(&alloc), "alloc {alloc}");
+        assert!(workload <= 1.5, "workload {workload}");
+        // Ordering: division > allocation > workload.
+        assert!(division > alloc && alloc > workload);
+    }
+
+    #[test]
+    fn xgene3_division_gives_nothing_extra() {
+        // X-Gene 3 shows no benefit below half speed (§II-B): division
+        // equals the skipping step.
+        let t = fig10(Machine::XGene3);
+        let division = t
+            .value("clock division (total below half speed)", "Vmin reduction (%)")
+            .unwrap();
+        let skip = t
+            .value("frequency (one clock-skipping step)", "Vmin reduction (%)")
+            .unwrap();
+        assert!((division - skip).abs() < 0.2, "{division} vs {skip}");
+    }
+}

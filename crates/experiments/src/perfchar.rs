@@ -1,0 +1,144 @@
+//! Workload characterization: Figures 8 and 9.
+
+use crate::report::{Cell, Table};
+use crate::{Machine, Scale};
+use avfs_workloads::catalog::Benchmark;
+use avfs_workloads::classify::{classify, IntensityClass, L3C_THRESHOLD_PER_MCYCLE};
+
+/// Figure 8: relative performance under full-chip contention — the ratio
+/// of solo execution time to per-instance time with one copy per core.
+pub fn fig8(machine: Machine, _scale: Scale) -> Table {
+    let chip = machine.chip_builder().build();
+    let perf = machine.perf_model();
+    let copies = chip.spec().cores as usize;
+    let mut table = Table {
+        id: format!("fig08-{}", machine.name().to_lowercase().replace(' ', "")),
+        title: format!(
+            "Figure 8 — relative performance (solo time / contended time), {machine}"
+        ),
+        headers: vec![
+            "benchmark".into(),
+            "ratio".into(),
+            "mem fraction".into(),
+            "class".into(),
+        ],
+        rows: Vec::new(),
+    };
+    let mut rows: Vec<(Benchmark, f64)> = Benchmark::characterized()
+        .into_iter()
+        .map(|b| {
+            (
+                b,
+                machine_contention_ratio(&perf, b, copies, chip.spec().fmax_mhz),
+            )
+        })
+        .collect();
+    // The paper plots benchmarks ordered from CPU- to memory-intensive.
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (bench, ratio) in rows {
+        let p = bench.profile();
+        table.push_row(vec![
+            bench.name().into(),
+            Cell::f(ratio, 3),
+            Cell::f(p.mem_fraction, 2),
+            classify(p.l3c_per_mcycle).to_string().into(),
+        ]);
+    }
+    table
+}
+
+fn machine_contention_ratio(
+    perf: &avfs_workloads::PerfModel,
+    bench: Benchmark,
+    copies: usize,
+    fmax: u32,
+) -> f64 {
+    perf.contention_ratio(&bench.profile(), copies, fmax)
+}
+
+/// Figure 9: L3-cache access rate per 1 M cycles for the three threading
+/// configurations (X-Gene 3 in the paper).
+pub fn fig9(machine: Machine, _scale: Scale) -> Table {
+    let chip = machine.chip_builder().build();
+    let perf = machine.perf_model();
+    let cores = chip.spec().cores as usize;
+    let thread_configs = [cores, cores / 2, cores / 4];
+    let mut headers = vec!["benchmark".to_string()];
+    headers.extend(thread_configs.iter().map(|t| format!("{t}T")));
+    headers.push("class".to_string());
+    let mut table = Table {
+        id: format!("fig09-{}", machine.name().to_lowercase().replace(' ', "")),
+        title: format!(
+            "Figure 9 — L3C accesses per 1M cycles (threshold {L3C_THRESHOLD_PER_MCYCLE}), {machine}"
+        ),
+        headers,
+        rows: Vec::new(),
+    };
+    for bench in Benchmark::characterized() {
+        let profile = bench.profile();
+        let mut row: Vec<Cell> = vec![bench.name().into()];
+        let mut final_class = IntensityClass::CpuIntensive;
+        for &threads in &thread_configs {
+            // Aggregate pressure of `threads` copies/threads of the same
+            // program at max frequency.
+            let pressure = perf.pressure_of(&profile) * threads as f64;
+            let mult = perf.mem_contention_mult(pressure) * perf.l2_share_mult(Some(profile.mem_fraction));
+            let rate = perf.observed_l3c_rate(&profile, mult);
+            final_class = classify(rate);
+            row.push(Cell::f(rate, 0));
+        }
+        row.push(final_class.to_string().into());
+        table.push_row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_extremes_match_the_paper() {
+        let t = fig8(Machine::XGene3, Scale::Quick);
+        // namd and EP near 1.0 (top of the sorted table).
+        let namd = t.value("namd", "ratio").unwrap();
+        let ep = t.value("EP", "ratio").unwrap();
+        assert!(namd > 0.95 && ep > 0.9, "namd {namd}, EP {ep}");
+        // CG, FT, milc far below 1.
+        for b in ["CG", "FT", "milc"] {
+            let r = t.value(b, "ratio").unwrap();
+            assert!(r < 0.5, "{b}: {r}");
+        }
+        // Sorted: first row is the most CPU-intensive.
+        assert_eq!(t.rows[0][0], Cell::Text("namd".into()));
+    }
+
+    #[test]
+    fn fig9_classes_are_consistent_across_threading() {
+        let t = fig9(Machine::XGene3, Scale::Quick);
+        for bench in ["namd", "EP", "swaptions"] {
+            for col in ["32T", "16T", "8T"] {
+                let rate = t.value(bench, col).unwrap();
+                assert!(rate < L3C_THRESHOLD_PER_MCYCLE, "{bench}@{col}: {rate}");
+            }
+        }
+        for bench in ["CG", "FT", "milc", "mcf", "lbm"] {
+            for col in ["32T", "16T", "8T"] {
+                let rate = t.value(bench, col).unwrap();
+                assert!(rate >= L3C_THRESHOLD_PER_MCYCLE, "{bench}@{col}: {rate}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig9_has_both_classes() {
+        let t = fig9(Machine::XGene2, Scale::Quick);
+        let classes: Vec<String> = t
+            .rows
+            .iter()
+            .map(|r| r.last().unwrap().to_string())
+            .collect();
+        assert!(classes.iter().any(|c| c == "CPU-intensive"));
+        assert!(classes.iter().any(|c| c == "memory-intensive"));
+    }
+}

@@ -1,0 +1,1108 @@
+//! The full-system simulator.
+//!
+//! [`System`] binds a [`Chip`], the analytic performance model, and a
+//! process table into a deterministic discrete-event simulation. Between
+//! events every quantity is piecewise constant, so energy integration and
+//! completion times are exact:
+//!
+//! * process progress accrues at `1 / T(config)` per second, where `T` is
+//!   the analytic execution time under the current frequency, contention,
+//!   and clustering conditions;
+//! * PCP power is evaluated from the per-PMD loads and integrated over
+//!   each slice;
+//! * the PMU accrues cycles / instructions / L3 accesses per process, and
+//!   droop events chip-wide, which is everything the daemon observes.
+//!
+//! Events: job arrivals (from a [`WorkloadTrace`]), process completions,
+//! monitoring windows (classification), trace sampling, and migration
+//! stalls ending. On arrival / completion / class-change events the
+//! configured [`Driver`] is consulted and its [`Action`]s applied —
+//! including the paper's fail-safe ordering, because actions apply in
+//! order within one event.
+
+use crate::driver::{Action, Driver, ProcessView, SysEvent, SystemView};
+use crate::governor::GovernorMode;
+use crate::metrics::{ProcessRecord, RunMetrics};
+use crate::process::{Pid, Process, ProcessState};
+use avfs_chip::chip::Chip;
+use avfs_chip::power::{PmdLoad, PowerInputs};
+use avfs_chip::topology::{CoreId, CoreSet, PmdId};
+use avfs_sim::stats::TimeWeighted;
+use avfs_sim::time::{SimDuration, SimTime};
+use avfs_sim::RngStream;
+use avfs_workloads::classify::{HysteresisClassifier, IntensityClass};
+use avfs_workloads::generator::WorkloadTrace;
+use avfs_workloads::perf::PerfModel;
+use avfs_workloads::phases;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Simulator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Trace sampling cadence (Figures 14/15 use 1 s).
+    pub sample_interval: SimDuration,
+    /// Monitoring window (the paper's 1 M-cycle counter window lands at
+    /// 300–500 ms wall time; we use 400 ms).
+    pub monitor_interval: SimDuration,
+    /// Pause a process suffers when migrated.
+    pub migration_pause: SimDuration,
+    /// When true, operating below the safe Vmin injects failures drawn
+    /// from the chip's failure model (used by ablations); when false,
+    /// unsafe time is only recorded.
+    pub inject_failures: bool,
+    /// Root seed for the simulator's stochastic models (droops,
+    /// failures).
+    pub seed: u64,
+    /// Classification threshold, L3 accesses per 1M cycles (the paper's
+    /// 3000 by default; ablations sweep it).
+    pub l3c_threshold: f64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            sample_interval: SimDuration::from_secs(1),
+            monitor_interval: SimDuration::from_millis(400),
+            migration_pause: SimDuration::from_millis(2),
+            inject_failures: false,
+            seed: 0xAE5F,
+            l3c_threshold: avfs_workloads::classify::L3C_THRESHOLD_PER_MCYCLE,
+        }
+    }
+}
+
+/// Per-process monitoring state.
+#[derive(Debug, Clone)]
+struct MonitorState {
+    classifier: HysteresisClassifier,
+    window_start_cycles: u64,
+    window_start_l3: u64,
+    last_rate: Option<f64>,
+}
+
+/// The full-system simulator.
+#[derive(Debug)]
+pub struct System {
+    chip: Chip,
+    perf: PerfModel,
+    config: SystemConfig,
+    now: SimTime,
+    procs: BTreeMap<Pid, Process>,
+    queue: VecDeque<Pid>,
+    governor: GovernorMode,
+    next_pid: u64,
+    monitors: BTreeMap<Pid, MonitorState>,
+    energy_j: f64,
+    power_acc: TimeWeighted,
+    droop_rng: RngStream,
+    failure_rng: RngStream,
+    unsafe_time_s: f64,
+    failures: u64,
+    migrations: u64,
+    rejected_actions: u64,
+}
+
+/// Outcome of applying driver actions (for introspection in tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApplyStats {
+    /// Actions applied successfully.
+    pub applied: u32,
+    /// Actions rejected (invalid pin, refused voltage, ...).
+    pub rejected: u32,
+}
+
+impl System {
+    /// Creates a system around a chip and its matching performance model.
+    pub fn new(chip: Chip, perf: PerfModel, config: SystemConfig) -> Self {
+        let droop_rng = RngStream::from_root(config.seed, "system-droops");
+        let failure_rng = RngStream::from_root(config.seed, "system-failures");
+        System {
+            chip,
+            perf,
+            config,
+            now: SimTime::ZERO,
+            procs: BTreeMap::new(),
+            queue: VecDeque::new(),
+            governor: GovernorMode::Ondemand,
+            next_pid: 1,
+            monitors: BTreeMap::new(),
+            energy_j: 0.0,
+            power_acc: TimeWeighted::new(SimTime::ZERO, 0.0),
+            droop_rng,
+            failure_rng,
+            unsafe_time_s: 0.0,
+            failures: 0,
+            migrations: 0,
+            rejected_actions: 0,
+        }
+    }
+
+    /// The chip under simulation.
+    pub fn chip(&self) -> &Chip {
+        &self.chip
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Live (waiting or running) process count.
+    pub fn live_processes(&self) -> usize {
+        self.procs
+            .values()
+            .filter(|p| p.state != ProcessState::Finished)
+            .count()
+    }
+
+    /// Cores currently assigned to running processes.
+    pub fn busy_cores(&self) -> CoreSet {
+        self.procs
+            .values()
+            .filter(|p| p.is_running())
+            .fold(CoreSet::EMPTY, |acc, p| acc.union(p.assigned))
+    }
+
+    /// Submits a job directly (outside a trace); returns its pid.
+    pub fn submit(&mut self, bench: avfs_workloads::Benchmark, threads: usize, scale: f64) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        let profile = bench.profile();
+        let work = self.perf.thread_work(&profile, threads).scaled(scale);
+        let proc = Process::new(pid, bench, threads, scale, work, self.now);
+        self.procs.insert(pid, proc);
+        self.queue.push_back(pid);
+        self.monitors.insert(
+            pid,
+            MonitorState {
+                classifier: HysteresisClassifier::new(
+                    self.config.l3c_threshold,
+                    0.1 * self.config.l3c_threshold,
+                ),
+                window_start_cycles: 0,
+                window_start_l3: 0,
+                last_rate: None,
+            },
+        );
+        pid
+    }
+
+    /// Replays a workload trace to completion under `driver`, returning
+    /// the run metrics. The system must be fresh (no live processes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a system that already has live processes.
+    pub fn run(&mut self, trace: &WorkloadTrace, driver: &mut dyn Driver) -> RunMetrics {
+        assert!(
+            self.live_processes() == 0,
+            "run() requires a fresh system; use a new System per run"
+        );
+        let mut metrics = RunMetrics::default();
+        let mut arrivals = trace.arrivals.iter().peekable();
+        let mut next_monitor = self.now + self.config.monitor_interval;
+        let mut next_sample = self.now;
+        let mut last_finish = self.now;
+
+        // Let the driver initialize (e.g. switch governor) before work.
+        let acts = driver.on_event(&self.view(), &SysEvent::MonitorTick);
+        self.apply_actions(&acts, &mut metrics);
+        self.apply_governor();
+
+        let mut iterations: u64 = 0;
+        loop {
+            iterations += 1;
+            assert!(
+                iterations < 2_000_000,
+                "event loop stuck at t={} with {} live processes",
+                self.now,
+                self.live_processes()
+            );
+            let all_arrived = arrivals.peek().is_none();
+            if all_arrived && self.live_processes() == 0 {
+                break;
+            }
+
+            // Candidate next event times.
+            let mut next = SimTime::MAX;
+            if let Some(a) = arrivals.peek() {
+                next = next.min(a.at.max(self.now));
+            }
+            if self.live_processes() > 0 {
+                next = next.min(next_monitor).min(next_sample);
+            } else if next_sample <= next {
+                // Sample through idle gaps too, for the Figure 15 traces.
+                next = next.min(next_sample);
+            }
+            for p in self.procs.values() {
+                if p.is_running() && p.stalled_until > self.now {
+                    next = next.min(p.stalled_until);
+                }
+            }
+            if let Some(t) = self.earliest_completion() {
+                next = next.min(t);
+            }
+            assert!(next < SimTime::MAX, "simulation stuck with no next event");
+            let next = next.max(self.now);
+
+            // Integrate the slice [now, next).
+            self.advance_to(next, &mut metrics);
+
+            // Dispatch everything due at `next`.
+            while let Some(a) = arrivals.peek() {
+                if a.at <= self.now {
+                    let a = arrivals.next().expect("peeked");
+                    let pid = self.submit(a.bench, a.threads, a.scale);
+                    let acts = driver.on_event(&self.view(), &SysEvent::ProcessArrived(pid));
+                    self.apply_actions(&acts, &mut metrics);
+                    self.try_admit();
+                    self.apply_governor();
+                } else {
+                    break;
+                }
+            }
+
+            // Completions.
+            let finished: Vec<Pid> = self
+                .procs
+                .values()
+                .filter(|p| p.is_running() && p.progress >= 1.0 - 1e-9)
+                .map(|p| p.pid)
+                .collect();
+            for pid in finished {
+                let record = {
+                    let p = self.procs.get_mut(&pid).expect("finished pid");
+                    p.state = ProcessState::Finished;
+                    p.finished_at = Some(self.now);
+                    p.assigned = CoreSet::EMPTY;
+                    ProcessRecord {
+                        pid,
+                        arrived_at: p.arrived_at,
+                        finished_at: self.now,
+                        threads: p.threads,
+                        migrations: p.migrations,
+                    }
+                };
+                metrics.completed.push(record);
+                last_finish = self.now;
+                self.monitors.remove(&pid);
+                let acts = driver.on_event(&self.view(), &SysEvent::ProcessFinished(pid));
+                self.apply_actions(&acts, &mut metrics);
+                self.try_admit();
+                self.apply_governor();
+            }
+
+            // Monitoring window.
+            if self.now >= next_monitor {
+                next_monitor = self.now + self.config.monitor_interval;
+                let changes = self.close_monitor_windows();
+                let acts = driver.on_event(&self.view(), &SysEvent::MonitorTick);
+                self.apply_actions(&acts, &mut metrics);
+                for (pid, class) in changes {
+                    let acts = driver.on_event(&self.view(), &SysEvent::ClassChanged(pid, class));
+                    self.apply_actions(&acts, &mut metrics);
+                }
+                self.apply_governor();
+            }
+
+            // Trace sampling.
+            if self.now >= next_sample {
+                next_sample = self.now + self.config.sample_interval;
+                self.record_sample(&mut metrics);
+            }
+        }
+
+        metrics.makespan = last_finish.saturating_since(SimTime::ZERO);
+        metrics.energy_j = self.energy_j;
+        metrics.avg_power_w = if metrics.makespan.as_secs_f64() > 0.0 {
+            self.energy_j / metrics.makespan.as_secs_f64()
+        } else {
+            0.0
+        };
+        metrics.migrations = self.migrations;
+        metrics.voltage_changes = self.chip.mailbox_stats().voltage_changes;
+        metrics.unsafe_time_s = self.unsafe_time_s;
+        metrics.failures = self.failures;
+        metrics
+    }
+
+    /// Number of driver actions that were rejected as invalid.
+    pub fn rejected_actions(&self) -> u64 {
+        self.rejected_actions
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// Builds the sanitized snapshot for drivers.
+    fn view(&self) -> SystemView {
+        let processes = self
+            .procs
+            .values()
+            .filter(|p| p.state != ProcessState::Finished)
+            .map(|p| {
+                let mon = self.monitors.get(&p.pid);
+                ProcessView {
+                    pid: p.pid,
+                    threads: p.threads,
+                    state: p.state,
+                    assigned: p.assigned,
+                    l3c_per_mcycle: mon.and_then(|m| m.last_rate),
+                    class: mon.and_then(|m| m.classifier.current()),
+                    arrived_at: p.arrived_at,
+                }
+            })
+            .collect();
+        SystemView {
+            now: self.now,
+            spec: self.chip.spec().clone(),
+            voltage: self.chip.voltage(),
+            pmd_steps: self
+                .chip
+                .spec()
+                .all_pmds()
+                .map(|p| self.chip.pmd_freq_step(p).expect("valid pmd"))
+                .collect(),
+            governor: self.governor,
+            processes,
+        }
+    }
+
+    /// Aggregate memory pressure of running processes, accounting for
+    /// their current (possibly reduced) core clocks.
+    fn total_pressure(&self) -> f64 {
+        let fmax = self.chip.spec().fmax_mhz as f64;
+        self.procs
+            .values()
+            .filter(|p| p.is_running())
+            .map(|p| {
+                let freq = p
+                    .assigned
+                    .first()
+                    .and_then(|c| {
+                        let pmd = self.chip.spec().pmd_of(c);
+                        self.chip.pmd_frequency(pmd).ok()
+                    })
+                    .map(|f| f.as_mhz() as f64)
+                    .unwrap_or(fmax);
+                self.perf
+                    .pressure_at(
+                        &phases::effective_profile(p.bench, p.progress),
+                        (freq / fmax).clamp(1e-6, 1.0),
+                    )
+                    * p.threads as f64
+            })
+            .sum()
+    }
+
+    /// Per-running-process effective conditions for the current instant.
+    fn conditions(&self) -> BTreeMap<Pid, (f64, u32, f64)> {
+        // (progress rate per second, min thread freq MHz, mem_mult)
+        let mut out = BTreeMap::new();
+        let base_mult = self.perf.mem_contention_mult(self.total_pressure());
+        // Owner of each core, for L2-partner lookup.
+        let mut owner: BTreeMap<usize, Pid> = BTreeMap::new();
+        for p in self.procs.values().filter(|p| p.is_running()) {
+            for c in p.assigned.iter() {
+                owner.insert(c.index(), p.pid);
+            }
+        }
+        for p in self.procs.values().filter(|p| p.is_running()) {
+            let mut worst_rate = f64::INFINITY;
+            let mut min_freq = u32::MAX;
+            let mut worst_mult = base_mult;
+            for core in p.assigned.iter() {
+                let pmd = self.chip.spec().pmd_of(core);
+                let freq = self
+                    .chip
+                    .pmd_frequency(pmd)
+                    .expect("assigned core on valid pmd")
+                    .as_mhz();
+                let partner_mem = self.l2_partner_mem(core, &owner);
+                let mult = base_mult * self.perf.l2_share_mult(partner_mem);
+                let rate = self.perf.progress_rate(&p.work, freq, mult);
+                if rate < worst_rate {
+                    worst_rate = rate;
+                    worst_mult = mult;
+                }
+                min_freq = min_freq.min(freq);
+            }
+            if p.assigned.is_empty() {
+                continue;
+            }
+            let stalled = p.stalled_until > self.now;
+            out.insert(
+                p.pid,
+                (
+                    if stalled { 0.0 } else { worst_rate },
+                    min_freq,
+                    worst_mult,
+                ),
+            );
+        }
+        out
+    }
+
+    /// Memory intensity of the process on the other core of `core`'s PMD,
+    /// if that core is busy with a *different* thread.
+    fn l2_partner_mem(&self, core: CoreId, owner: &BTreeMap<usize, Pid>) -> Option<f64> {
+        let spec = self.chip.spec();
+        let pmd = spec.pmd_of(core);
+        spec.cores_of(pmd)
+            .into_iter()
+            .filter(|&c| c != core)
+            .find_map(|c| owner.get(&c.index()))
+            .map(|pid| {
+                let q = &self.procs[pid];
+                phases::effective_profile(q.bench, q.progress).mem_fraction
+            })
+    }
+
+    /// The earliest running-process completion time, if any.
+    fn earliest_completion(&self) -> Option<SimTime> {
+        let conds = self.conditions();
+        let mut earliest: Option<SimTime> = None;
+        for p in self.procs.values().filter(|p| p.is_running()) {
+            let Some(&(rate, _, _)) = conds.get(&p.pid) else {
+                continue;
+            };
+            let t = if p.stalled_until > self.now {
+                // Resumes later; completion considered after resume.
+                continue;
+            } else if rate <= 0.0 {
+                continue;
+            } else {
+                // At least 1 ns in the future so the event loop always
+                // advances.
+                self.now + SimDuration::from_secs_f64((p.remaining() / rate).max(1e-9))
+            };
+            earliest = Some(match earliest {
+                None => t,
+                Some(e) => e.min(t),
+            });
+        }
+        earliest
+    }
+
+    /// Integrates state forward to `target` (progress, energy, PMU,
+    /// droops, safety accounting).
+    fn advance_to(&mut self, target: SimTime, metrics: &mut RunMetrics) {
+        if target <= self.now {
+            return;
+        }
+        let dt = (target - self.now).as_secs_f64();
+        let conds = self.conditions();
+
+        // Power for this slice.
+        let inputs = self.power_inputs(&conds);
+        let watts = self.chip.evaluate_power_w(&inputs);
+        self.energy_j += watts * dt;
+        self.power_acc.set(self.now, watts);
+
+        // Safety accounting (and optional failure injection).
+        let busy = self.busy_cores();
+        if !busy.is_empty() && !self.chip.is_voltage_safe_for(busy) {
+            self.unsafe_time_s += dt;
+            if self.config.inject_failures {
+                let safe = self.chip.current_safe_vmin(busy);
+                let class = self
+                    .chip
+                    .vmin_model()
+                    .droop_class(busy.utilized_pmd_count(self.chip.spec()));
+                let p_per_run = self
+                    .chip
+                    .failure_model()
+                    .pfail(self.chip.voltage(), safe, class);
+                // Treat each second below Vmin as one run opportunity.
+                let lam = p_per_run * dt;
+                self.failures += self.failure_rng.poisson(lam);
+            }
+        }
+
+        // Progress + PMU.
+        let mut chip_cycles_at_fmax = 0u64;
+        let mut activity_sum = 0.0;
+        let mut active_threads = 0usize;
+        for (pid, &(rate, freq, mult)) in &conds {
+            let p = self.procs.get_mut(pid).expect("cond pid");
+            let run_dt = if p.stalled_until > self.now {
+                // Stall may end inside the slice (slice boundaries include
+                // stall ends, so this is exact, not an approximation).
+                let resume = p.stalled_until.min(target);
+                (target - resume).as_secs_f64()
+            } else {
+                dt
+            };
+            if run_dt > 0.0 && rate > 0.0 {
+                p.progress = (p.progress + rate * run_dt).min(1.0);
+                // Snap to done when the residue is below the event
+                // queue's nanosecond resolution — prevents a zero-length
+                // event livelock from floating-point rounding.
+                if p.remaining() <= rate * 2e-9 {
+                    p.progress = 1.0;
+                }
+            }
+            // PMU accrues whenever cores are clocked, stalled or not.
+            // Observables follow the program's current phase.
+            let cycles = (freq as f64 * 1e6 * dt) as u64 * p.threads as u64;
+            let profile = phases::effective_profile(p.bench, p.progress);
+            let l3_rate = self.perf.observed_l3c_rate(&profile, mult);
+            let l3 = (cycles as f64 / 1e6 * l3_rate) as u64;
+            let act = self.perf.effective_activity(&profile, &p.work, freq, mult);
+            let instr = (cycles as f64 * act) as u64;
+            p.cycles += cycles;
+            p.l3_accesses += l3;
+            p.instructions += instr;
+            // Mirror into the per-core PMU (first assigned core carries
+            // the process's counters, as the kernel module reads them).
+            if let Some(core) = p.assigned.first() {
+                self.chip.pmu_mut().record(core, cycles, instr, l3);
+            }
+            activity_sum += act * p.threads as f64;
+            active_threads += p.threads;
+        }
+
+        // Droop events for the slice.
+        if active_threads > 0 {
+            let utilized = busy.utilized_pmd_count(self.chip.spec());
+            let class = self.chip.vmin_model().droop_class(utilized);
+            let mean_act = activity_sum / active_threads as f64;
+            chip_cycles_at_fmax = (self.chip.spec().fmax_mhz as f64 * 1e6 * dt) as u64;
+            let counts =
+                self.chip
+                    .droop_model()
+                    .sample(class, mean_act, chip_cycles_at_fmax, &mut self.droop_rng);
+            self.chip.pmu_mut().record_droops(&counts);
+        }
+        let _ = chip_cycles_at_fmax;
+        let _ = metrics;
+
+        self.now = target;
+    }
+
+    /// Builds the chip power inputs for the current instant.
+    fn power_inputs(&self, conds: &BTreeMap<Pid, (f64, u32, f64)>) -> PowerInputs {
+        let spec = self.chip.spec();
+        let mut loads = vec![PmdLoad::IDLE; spec.pmds() as usize];
+        let mut act_sum = vec![0.0f64; spec.pmds() as usize];
+        for p in self.procs.values().filter(|p| p.is_running()) {
+            let profile = phases::effective_profile(p.bench, p.progress);
+            let (_, freq, mult) = conds.get(&p.pid).copied().unwrap_or((0.0, 0, 1.0));
+            let act = self.perf.effective_activity(&profile, &p.work, freq.max(1), mult);
+            for core in p.assigned.iter() {
+                let pmd = spec.pmd_of(core).index();
+                loads[pmd].active_cores += 1;
+                act_sum[pmd] += act;
+            }
+        }
+        for (i, load) in loads.iter_mut().enumerate() {
+            if load.active_cores > 0 {
+                load.freq_mhz = self
+                    .chip
+                    .pmd_frequency(PmdId::new(i as u16))
+                    .expect("valid pmd")
+                    .as_mhz();
+                load.activity = act_sum[i] / load.active_cores as f64;
+            }
+        }
+        PowerInputs {
+            voltage: self.chip.voltage(),
+            pmd_loads: loads,
+            mem_traffic: (self.total_pressure() / self.perf.mem_capacity).min(1.0),
+        }
+    }
+
+    /// Applies driver actions in order.
+    fn apply_actions(&mut self, actions: &[Action], metrics: &mut RunMetrics) {
+        let _ = metrics;
+        for action in actions {
+            match *action {
+                Action::PinProcess(pid, cores) => {
+                    if !self.pin_process(pid, cores) {
+                        self.rejected_actions += 1;
+                    }
+                }
+                Action::SetPmdStep(pmd, step) => {
+                    if self.governor == GovernorMode::Userspace {
+                        if self.chip.set_pmd_freq_step(pmd, step).is_err() {
+                            self.rejected_actions += 1;
+                        }
+                    } else {
+                        // Kernel governors own the frequency; refuse.
+                        self.rejected_actions += 1;
+                    }
+                }
+                Action::SetVoltage(mv) => {
+                    if self.chip.set_voltage(mv).is_err() {
+                        self.rejected_actions += 1;
+                    }
+                }
+                Action::SetGovernor(mode) => {
+                    self.governor = mode;
+                    self.apply_governor();
+                }
+            }
+        }
+    }
+
+    /// Pins (places or migrates) a process; returns false when invalid.
+    fn pin_process(&mut self, pid: Pid, cores: CoreSet) -> bool {
+        let spec = self.chip.spec().clone();
+        // Validate the target cores exist.
+        if cores.iter().any(|c| !spec.contains_core(c)) {
+            return false;
+        }
+        let Some(p) = self.procs.get(&pid) else {
+            return false;
+        };
+        if p.state == ProcessState::Finished || cores.len() != p.threads {
+            return false;
+        }
+        // Target cores must be free or already ours.
+        let others = self
+            .procs
+            .values()
+            .filter(|q| q.is_running() && q.pid != pid)
+            .fold(CoreSet::EMPTY, |acc, q| acc.union(q.assigned));
+        if !cores.intersection(others).is_empty() {
+            return false;
+        }
+        let now = self.now;
+        let pause = self.config.migration_pause;
+        let p = self.procs.get_mut(&pid).expect("checked above");
+        match p.state {
+            ProcessState::Waiting => {
+                p.state = ProcessState::Running;
+                p.started_at = Some(now);
+                p.assigned = cores;
+                self.queue.retain(|&q| q != pid);
+            }
+            ProcessState::Running => {
+                if p.assigned != cores {
+                    p.assigned = cores;
+                    p.stalled_until = now + pause;
+                    p.migrations += 1;
+                    self.migrations += 1;
+                }
+            }
+            ProcessState::Finished => return false,
+        }
+        true
+    }
+
+    /// Default (kernel-like) placement for still-waiting processes:
+    /// spread across PMDs, preferring idle PMDs — the CFS load-balancing
+    /// behaviour the paper's Baseline runs under.
+    fn try_admit(&mut self) {
+        loop {
+            let Some(&pid) = self.queue.front() else {
+                return;
+            };
+            let p = &self.procs[&pid];
+            if p.state != ProcessState::Waiting {
+                self.queue.pop_front();
+                continue;
+            }
+            let threads = p.threads;
+            let busy = self.busy_cores();
+            let spec = self.chip.spec();
+            let mut free: Vec<CoreId> = spec.all_cores().filter(|&c| !busy.contains(c)).collect();
+            if free.len() < threads {
+                return; // head-of-line blocks until cores free up
+            }
+            // Order: idle-PMD cores first, then by PMD occupancy.
+            free.sort_by_key(|&c| {
+                let pmd = spec.pmd_of(c);
+                let occupancy = spec
+                    .cores_of(pmd)
+                    .iter()
+                    .filter(|&&x| busy.contains(x))
+                    .count();
+                (occupancy, pmd.index(), c.index())
+            });
+            let chosen: CoreSet = free.into_iter().take(threads).collect();
+            // pin_process transitions the process to Running and removes
+            // it from the queue itself.
+            let ok = self.pin_process(pid, chosen);
+            debug_assert!(ok, "default placement must be valid");
+        }
+    }
+
+    /// Re-asserts the kernel governor's frequency choices.
+    fn apply_governor(&mut self) {
+        if self.governor == GovernorMode::Userspace {
+            return;
+        }
+        let busy = self.busy_cores();
+        let spec = self.chip.spec().clone();
+        for pmd in spec.all_pmds() {
+            let pmd_busy = spec.cores_of(pmd).iter().any(|&c| busy.contains(c));
+            if let Some(step) = self.governor.desired_step(pmd_busy) {
+                self.chip
+                    .set_pmd_freq_step(pmd, step)
+                    .expect("governor uses valid pmds");
+            }
+        }
+    }
+
+    /// Closes monitoring windows; returns processes whose class flipped.
+    fn close_monitor_windows(&mut self) -> Vec<(Pid, IntensityClass)> {
+        let mut changes = Vec::new();
+        for (pid, mon) in self.monitors.iter_mut() {
+            let Some(p) = self.procs.get(pid) else {
+                continue;
+            };
+            if !p.is_running() {
+                continue;
+            }
+            let cycles = p.cycles - mon.window_start_cycles;
+            let l3 = p.l3_accesses - mon.window_start_l3;
+            mon.window_start_cycles = p.cycles;
+            mon.window_start_l3 = p.l3_accesses;
+            if cycles < 100_000 {
+                continue; // window too small to classify
+            }
+            let rate = l3 as f64 * 1e6 / cycles as f64;
+            mon.last_rate = Some(rate);
+            let before = mon.classifier.current();
+            let after = mon.classifier.observe(rate);
+            // The first classification is a change too — the daemon
+            // treats unmeasured processes as CPU-intensive, so learning
+            // otherwise must trigger a replan.
+            if before != Some(after) {
+                changes.push((*pid, after));
+            }
+        }
+        changes
+    }
+
+    /// Records one trace sample (Figures 14/15).
+    fn record_sample(&mut self, metrics: &mut RunMetrics) {
+        let conds = self.conditions();
+        let inputs = self.power_inputs(&conds);
+        let watts = self.chip.evaluate_power_w(&inputs);
+        metrics.power_trace.push(self.now, watts);
+        let running_threads: usize = self
+            .procs
+            .values()
+            .filter(|p| p.is_running())
+            .map(|p| p.threads)
+            .sum();
+        metrics.load_trace.push(self.now, running_threads as f64);
+        let (mut cpu, mut mem) = (0u32, 0u32);
+        for p in self.procs.values().filter(|p| p.is_running()) {
+            match self.monitors.get(&p.pid).and_then(|m| m.classifier.current()) {
+                Some(IntensityClass::MemoryIntensive) => mem += 1,
+                Some(IntensityClass::CpuIntensive) | None => cpu += 1,
+            }
+        }
+        metrics.cpu_class_trace.push(self.now, cpu as f64);
+        metrics.mem_class_trace.push(self.now, mem as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::DefaultPolicy;
+    use avfs_chip::presets;
+    use avfs_workloads::catalog::Benchmark;
+    use avfs_workloads::generator::{Arrival, GeneratorConfig};
+
+    fn small_trace(seed: u64) -> WorkloadTrace {
+        let mut cfg = GeneratorConfig::paper_default(8, seed);
+        cfg.duration = SimDuration::from_secs(120);
+        cfg.job_scale = 0.15;
+        WorkloadTrace::generate(&cfg)
+    }
+
+    fn xgene2_system() -> System {
+        System::new(
+            presets::xgene2().build(),
+            PerfModel::xgene2(),
+            SystemConfig::default(),
+        )
+    }
+
+    #[test]
+    fn single_job_runs_to_completion() {
+        let trace = WorkloadTrace {
+            arrivals: vec![Arrival {
+                at: SimTime::ZERO,
+                bench: Benchmark::SpecNamd,
+                threads: 1,
+                scale: 0.1,
+            }],
+            duration: SimDuration::from_secs(60),
+        };
+        let mut sys = xgene2_system();
+        let m = sys.run(&trace, &mut DefaultPolicy::ondemand());
+        assert_eq!(m.completed.len(), 1);
+        // namd at 0.1 scale: ~10 s of work, 3 GHz-reference core time at
+        // 2.4 GHz → ~12.4 s; allow the monitor/sample granularity.
+        let t = m.makespan.as_secs_f64();
+        assert!((12.0..13.5).contains(&t), "makespan {t}s");
+        assert!(m.energy_j > 0.0);
+        assert_eq!(m.unsafe_time_s, 0.0);
+        assert_eq!(m.failures, 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let trace = small_trace(11);
+        let m1 = xgene2_system().run(&trace, &mut DefaultPolicy::ondemand());
+        let m2 = xgene2_system().run(&trace, &mut DefaultPolicy::ondemand());
+        assert_eq!(m1.energy_j, m2.energy_j);
+        assert_eq!(m1.makespan, m2.makespan);
+        assert_eq!(m1.completed.len(), m2.completed.len());
+    }
+
+    #[test]
+    fn all_jobs_complete_and_metrics_are_consistent() {
+        let trace = small_trace(3);
+        let mut sys = xgene2_system();
+        let m = sys.run(&trace, &mut DefaultPolicy::ondemand());
+        assert_eq!(m.completed.len(), trace.len());
+        assert_eq!(sys.live_processes(), 0);
+        // Energy equals avg power times makespan by construction.
+        let expect = m.avg_power_w * m.makespan.as_secs_f64();
+        assert!((m.energy_j - expect).abs() < 1e-6 * m.energy_j.max(1.0));
+        // ED2P is consistent.
+        let d = m.makespan.as_secs_f64();
+        assert!((m.ed2p() - m.energy_j * d * d).abs() < 1e-6 * m.ed2p().max(1.0));
+    }
+
+    #[test]
+    fn memory_job_is_classified_memory_intensive() {
+        let trace = WorkloadTrace {
+            arrivals: vec![Arrival {
+                at: SimTime::ZERO,
+                bench: Benchmark::SpecMilc,
+                threads: 1,
+                scale: 0.2,
+            }],
+            duration: SimDuration::from_secs(60),
+        };
+        let mut sys = xgene2_system();
+        let m = sys.run(&trace, &mut DefaultPolicy::ondemand());
+        assert_eq!(m.completed.len(), 1);
+        // The mem-class trace should have seen a memory-intensive process.
+        assert!(m.mem_class_trace.max().unwrap_or(0.0) >= 1.0);
+    }
+
+    #[test]
+    fn parallel_job_occupies_multiple_cores() {
+        let trace = WorkloadTrace {
+            arrivals: vec![Arrival {
+                at: SimTime::ZERO,
+                bench: Benchmark::NpbEp,
+                threads: 4,
+                scale: 0.1,
+            }],
+            duration: SimDuration::from_secs(120),
+        };
+        let mut sys = xgene2_system();
+        let m = sys.run(&trace, &mut DefaultPolicy::ondemand());
+        assert_eq!(m.completed.len(), 1);
+        assert!(m.load_trace.max().unwrap_or(0.0) >= 4.0);
+        // Default placement spreads 4 threads over 4 PMDs: power trace
+        // must exist and be positive.
+        assert!(m.power_trace.max().unwrap_or(0.0) > 1.0);
+    }
+
+    #[test]
+    fn ondemand_idles_between_jobs() {
+        // Two jobs separated by a long idle gap: average power must dip
+        // towards idle between them.
+        let trace = WorkloadTrace {
+            arrivals: vec![
+                Arrival {
+                    at: SimTime::ZERO,
+                    bench: Benchmark::SpecHmmer,
+                    threads: 1,
+                    scale: 0.05,
+                },
+                Arrival {
+                    at: SimTime::from_secs(60),
+                    bench: Benchmark::SpecHmmer,
+                    threads: 1,
+                    scale: 0.05,
+                },
+            ],
+            duration: SimDuration::from_secs(120),
+        };
+        let mut sys = xgene2_system();
+        let m = sys.run(&trace, &mut DefaultPolicy::ondemand());
+        assert_eq!(m.completed.len(), 2);
+        // Idle-gap samples exist with near-idle power.
+        let idle_w = presets::xgene2()
+            .build()
+            .power_model()
+            .idle_power_w(avfs_chip::Millivolts::new(980), 4);
+        let min_sample = m
+            .power_trace
+            .values()
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            (min_sample - idle_w).abs() < 0.5,
+            "min sample {min_sample} vs idle {idle_w}"
+        );
+    }
+
+    #[test]
+    fn contention_slows_jobs_down() {
+        // One milc copy vs eight: per-instance time must grow.
+        let solo_trace = WorkloadTrace {
+            arrivals: vec![Arrival {
+                at: SimTime::ZERO,
+                bench: Benchmark::SpecMilc,
+                threads: 1,
+                scale: 0.1,
+            }],
+            duration: SimDuration::from_secs(600),
+        };
+        let full_trace = WorkloadTrace {
+            arrivals: (0..8)
+                .map(|_| Arrival {
+                    at: SimTime::ZERO,
+                    bench: Benchmark::SpecMilc,
+                    threads: 1,
+                    scale: 0.1,
+                })
+                .collect(),
+            duration: SimDuration::from_secs(600),
+        };
+        let solo = xgene2_system().run(&solo_trace, &mut DefaultPolicy::ondemand());
+        let full = xgene2_system().run(&full_trace, &mut DefaultPolicy::ondemand());
+        assert!(
+            full.makespan.as_secs_f64() > 1.5 * solo.makespan.as_secs_f64(),
+            "full {} vs solo {}",
+            full.makespan,
+            solo.makespan
+        );
+    }
+
+    #[test]
+    fn queueing_defers_jobs_beyond_capacity() {
+        // Nine single-thread jobs on eight cores: one must wait.
+        let trace = WorkloadTrace {
+            arrivals: (0..9)
+                .map(|_| Arrival {
+                    at: SimTime::ZERO,
+                    bench: Benchmark::SpecGamess,
+                    threads: 1,
+                    scale: 0.05,
+                })
+                .collect(),
+            duration: SimDuration::from_secs(600),
+        };
+        let mut sys = xgene2_system();
+        let m = sys.run(&trace, &mut DefaultPolicy::ondemand());
+        assert_eq!(m.completed.len(), 9);
+        assert!(m.load_trace.max().unwrap_or(0.0) <= 8.0);
+        // The ninth job's turnaround exceeds the others'.
+        let max_turnaround = m
+            .completed
+            .iter()
+            .map(|r| r.turnaround().as_secs_f64())
+            .fold(0.0f64, f64::max);
+        let min_turnaround = m
+            .completed
+            .iter()
+            .map(|r| r.turnaround().as_secs_f64())
+            .fold(f64::INFINITY, f64::min);
+        assert!(max_turnaround > 1.5 * min_turnaround);
+    }
+
+    #[test]
+    fn nominal_voltage_is_never_unsafe() {
+        let trace = small_trace(5);
+        let mut sys = xgene2_system();
+        let m = sys.run(&trace, &mut DefaultPolicy::ondemand());
+        assert_eq!(m.unsafe_time_s, 0.0);
+        assert_eq!(m.failures, 0);
+        assert_eq!(sys.rejected_actions(), 0);
+    }
+
+    #[test]
+    fn droop_counters_populate() {
+        let trace = small_trace(6);
+        let mut sys = xgene2_system();
+        let _ = sys.run(&trace, &mut DefaultPolicy::ondemand());
+        assert!(sys.chip().pmu().droops().total() > 0);
+    }
+
+    /// A driver that emits a fixed action list on its first event, for
+    /// negative-path tests.
+    struct Scripted(Vec<Action>);
+
+    impl crate::driver::Driver for Scripted {
+        fn on_event(
+            &mut self,
+            _view: &crate::driver::SystemView,
+            _event: &crate::driver::SysEvent,
+        ) -> Vec<Action> {
+            std::mem::take(&mut self.0)
+        }
+
+        fn name(&self) -> &str {
+            "scripted"
+        }
+    }
+
+    fn tiny_trace() -> WorkloadTrace {
+        WorkloadTrace {
+            arrivals: vec![Arrival {
+                at: SimTime::ZERO,
+                bench: Benchmark::SpecHmmer,
+                threads: 1,
+                scale: 0.02,
+            }],
+            duration: SimDuration::from_secs(60),
+        }
+    }
+
+    #[test]
+    fn invalid_pins_are_rejected_and_counted() {
+        let mut sys = xgene2_system();
+        // Pin pid 1 to a nonexistent core, pin an unknown pid, and pin
+        // pid 1 with the wrong width.
+        let bad_core: CoreSet = [63u16].iter().map(|&i| CoreId::new(i)).collect();
+        let two_cores: CoreSet = [0u16, 1].iter().map(|&i| CoreId::new(i)).collect();
+        let mut driver = Scripted(vec![
+            Action::PinProcess(Pid(1), bad_core),
+            Action::PinProcess(Pid(99), two_cores),
+            Action::PinProcess(Pid(1), two_cores),
+        ]);
+        let m = sys.run(&tiny_trace(), &mut driver);
+        // The job still completes via default placement...
+        assert_eq!(m.completed.len(), 1);
+        // ...and all three bad actions were counted as rejected.
+        assert_eq!(sys.rejected_actions(), 3);
+    }
+
+    #[test]
+    fn freq_steps_are_refused_outside_userspace_mode() {
+        let mut sys = xgene2_system();
+        // Under ondemand, a direct step request must be refused — the
+        // kernel governor owns the frequency.
+        let mut driver = Scripted(vec![Action::SetPmdStep(
+            PmdId::new(0),
+            avfs_chip::FreqStep::MIN,
+        )]);
+        let _ = sys.run(&tiny_trace(), &mut driver);
+        assert_eq!(sys.rejected_actions(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fresh system")]
+    fn run_requires_fresh_system() {
+        let mut sys = xgene2_system();
+        sys.submit(Benchmark::SpecNamd, 1, 0.1);
+        let trace = small_trace(1);
+        let _ = sys.run(&trace, &mut DefaultPolicy::ondemand());
+    }
+}

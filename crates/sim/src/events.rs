@@ -1,0 +1,193 @@
+//! A deterministic pending-event set.
+//!
+//! [`EventQueue`] orders events by `(time, sequence number)` so that two
+//! events scheduled for the same instant pop in insertion order. This keeps
+//! simulations reproducible regardless of heap internals.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event: a payload tagged with its due time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event<T> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Monotonic insertion index; breaks ties at equal times.
+    pub seq: u64,
+    /// The user payload.
+    pub payload: T,
+}
+
+// BinaryHeap is a max-heap; reverse the ordering to pop the earliest event.
+impl<T: Eq> Ord for Event<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<T: Eq> PartialOrd for Event<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered queue of simulation events.
+///
+/// ```
+/// use avfs_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(2), "b");
+/// q.schedule(SimTime::from_secs(1), "a");
+/// q.schedule(SimTime::from_secs(2), "c");
+/// let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+/// assert_eq!(order, ["a", "b", "c"]); // FIFO among same-time events
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<T: Eq> {
+    heap: BinaryHeap<Event<T>>,
+    next_seq: u64,
+}
+
+impl<T: Eq> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `time`. Returns the event's sequence
+    /// number, which can be used to correlate with popped events.
+    pub fn schedule(&mut self, time: SimTime, payload: T) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, payload });
+        seq
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Event<T>> {
+        self.heap.pop()
+    }
+
+    /// The due time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Removes and returns the earliest event only if it is due at or before
+    /// `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<Event<T>> {
+        match self.peek_time() {
+            Some(t) if t <= now => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<T: Eq> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Eq> Extend<(SimTime, T)> for EventQueue<T> {
+    fn extend<I: IntoIterator<Item = (SimTime, T)>>(&mut self, iter: I) {
+        for (time, payload) in iter {
+            self.schedule(time, payload);
+        }
+    }
+}
+
+impl<T: Eq> FromIterator<(SimTime, T)> for EventQueue<T> {
+    fn from_iter<I: IntoIterator<Item = (SimTime, T)>>(iter: I) -> Self {
+        let mut q = EventQueue::new();
+        q.extend(iter);
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), 3u32);
+        q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(2), 2);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, [1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(7);
+        for i in 0..100u32 {
+            q.schedule(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), "late");
+        q.schedule(SimTime::from_secs(1), "early");
+        assert_eq!(
+            q.pop_due(SimTime::from_secs(2)).map(|e| e.payload),
+            Some("early")
+        );
+        assert_eq!(q.pop_due(SimTime::from_secs(2)), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let q: EventQueue<u8> = [(SimTime::from_secs(1), 1u8), (SimTime::ZERO, 0)]
+            .into_iter()
+            .collect();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::ZERO));
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, 1u8);
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

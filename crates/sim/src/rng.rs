@@ -1,0 +1,323 @@
+//! Deterministic random-number streams.
+//!
+//! Every stochastic model in the workspace (droop events, failure outcomes,
+//! workload arrivals, static process variation) draws from an
+//! [`RngStream`]. Streams are derived from a root seed plus a label, so
+//! independent models never share state and adding a new consumer cannot
+//! perturb existing ones — the classic "random stream per model" discipline
+//! from simulation practice.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A named, deterministic random stream.
+///
+/// ```
+/// use avfs_sim::RngStream;
+///
+/// let mut a = RngStream::from_root(7, "workload-gen");
+/// let mut b = RngStream::from_root(7, "workload-gen");
+/// assert_eq!(a.next_u64(), b.next_u64());
+///
+/// // A different label yields an independent stream.
+/// let mut c = RngStream::from_root(7, "droop-model");
+/// let _ = c.next_u64(); // deterministic, but unrelated to `a`
+/// ```
+#[derive(Debug, Clone)]
+pub struct RngStream {
+    rng: SmallRng,
+}
+
+/// Stable 64-bit FNV-1a hash, used to fold stream labels into seeds.
+///
+/// We hand-roll this instead of using `std::hash` because `DefaultHasher`
+/// is not guaranteed stable across Rust releases, and seeds must be.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// SplitMix64 step; used to decorrelate seed material.
+pub fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl RngStream {
+    /// Derives a stream from a root seed and a label.
+    pub fn from_root(root_seed: u64, label: &str) -> Self {
+        let mixed = splitmix64(root_seed ^ fnv1a_64(label.as_bytes()));
+        RngStream {
+            rng: SmallRng::seed_from_u64(mixed),
+        }
+    }
+
+    /// Derives a sub-stream, e.g. one per run index or per core.
+    pub fn substream(&self, index: u64) -> Self {
+        // Independent of this stream's current position: derive from a
+        // snapshot of nothing but the index (streams are forked eagerly).
+        let mut probe = self.clone();
+        let base = probe.next_u64();
+        RngStream {
+            rng: SmallRng::seed_from_u64(splitmix64(base ^ splitmix64(index))),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.gen()
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "uniform range is empty: [{lo}, {hi})");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "uniform_u64 range is empty: [{lo}, {hi}]");
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.next_f64() < p
+        }
+    }
+
+    /// Exponentially distributed value with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive: {mean}");
+        // Inverse CDF; 1-u avoids ln(0).
+        -mean * (1.0 - self.next_f64()).ln()
+    }
+
+    /// Standard normal draw (Box–Muller).
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal draw with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "negative std dev: {std_dev}");
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Poisson draw with the given mean (Knuth's method; fine for small
+    /// means, which is all the droop model needs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is negative or not finite.
+    pub fn poisson(&mut self, mean: f64) -> u64 {
+        assert!(mean.is_finite() && mean >= 0.0, "invalid poisson mean: {mean}");
+        if mean == 0.0 {
+            return 0;
+        }
+        if mean > 64.0 {
+            // Normal approximation for large means keeps this O(1).
+            return self.normal(mean, mean.sqrt()).round().max(0.0) as u64;
+        }
+        let l = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= self.next_f64();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    /// Picks an index in `[0, len)` uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn pick_index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "cannot pick from an empty range");
+        self.rng.gen_range(0..len)
+    }
+
+    /// Picks a uniformly random element of a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.pick_index(items.len())]
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = RngStream::from_root(1, "x");
+        let mut b = RngStream::from_root(1, "x");
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn labels_decorrelate() {
+        let mut a = RngStream::from_root(1, "x");
+        let mut b = RngStream::from_root(1, "y");
+        // Not a proof of independence, but identical prefixes would indicate
+        // the label is ignored.
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn substreams_are_deterministic() {
+        let root = RngStream::from_root(9, "model");
+        let mut s1 = root.substream(3);
+        let mut s2 = root.substream(3);
+        assert_eq!(s1.next_u64(), s2.next_u64());
+        let mut s3 = root.substream(4);
+        assert_ne!(s1.next_u64(), s3.next_u64());
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut r = RngStream::from_root(2, "u");
+        for _ in 0..1000 {
+            let v = r.uniform(5.0, 6.0);
+            assert!((5.0..6.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_edges() {
+        let mut r = RngStream::from_root(3, "c");
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = RngStream::from_root(4, "e");
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(2.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean was {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let mut r = RngStream::from_root(5, "p");
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| r.poisson(3.0)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean was {mean}");
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_normal_path() {
+        let mut r = RngStream::from_root(6, "p2");
+        let n = 5_000;
+        let sum: u64 = (0..n).map(|_| r.poisson(100.0)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 100.0).abs() < 1.0, "mean was {mean}");
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut r = RngStream::from_root(7, "n");
+        let n = 20_000;
+        let vals: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = vals.iter().sum::<f64>() / n as f64;
+        let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean was {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var was {var}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = RngStream::from_root(8, "s");
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pick_covers_all_indices() {
+        let mut r = RngStream::from_root(10, "pick");
+        let items = [0usize, 1, 2, 3];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[*r.pick(&items)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Golden values: must never change, or every seed shifts.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn pick_from_empty_panics() {
+        let mut r = RngStream::from_root(11, "bad");
+        let empty: [u8; 0] = [];
+        let _ = r.pick(&empty);
+    }
+}

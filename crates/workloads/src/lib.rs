@@ -1,0 +1,44 @@
+//! Analytic workload models for the AVFS reproduction.
+//!
+//! The paper's evaluation runs 25 characterized benchmarks from three
+//! suites — NPB v3.3.1, PARSEC v3.0, and SPEC CPU2006 — plus a random
+//! "server workload" drawn from a 35-program pool (the 29 SPEC programs
+//! and 6 NPB kernels, §VI-B). Real binaries obviously cannot run on a
+//! simulated chip, so each program is modelled analytically by the four
+//! properties the paper's mechanism actually interacts with:
+//!
+//! * the split of solo execution time into **core cycles** (frequency-
+//!   scalable) and **memory time** (frequency-invariant) — this drives
+//!   the energy/performance trade-offs of Figures 11/12;
+//! * the **L3-cache access rate** per million cycles — the daemon's
+//!   classification signal (Figure 9, threshold 3000);
+//! * **contention sensitivity** — how co-runners inflate memory time
+//!   (Figure 8) and how sharing a PMD's L2 inflates clustered allocations
+//!   (Figure 7);
+//! * a small **Vmin sensitivity** — the benchmark's position inside the
+//!   workload-to-workload Vmin spread (Figures 3/4).
+//!
+//! # Example
+//!
+//! ```
+//! use avfs_workloads::catalog::{Benchmark, Suite};
+//! use avfs_workloads::classify::{classify, IntensityClass};
+//!
+//! let cg = Benchmark::NpbCg.profile();
+//! assert_eq!(cg.suite, Suite::Npb);
+//! assert_eq!(classify(cg.l3c_per_mcycle), IntensityClass::MemoryIntensive);
+//!
+//! let namd = Benchmark::SpecNamd.profile();
+//! assert_eq!(classify(namd.l3c_per_mcycle), IntensityClass::CpuIntensive);
+//! ```
+
+pub mod catalog;
+pub mod classify;
+pub mod generator;
+pub mod perf;
+pub mod phases;
+
+pub use catalog::{BenchProfile, Benchmark, Suite};
+pub use classify::{classify, IntensityClass, L3C_THRESHOLD_PER_MCYCLE};
+pub use generator::{Arrival, GeneratorConfig, WorkloadTrace};
+pub use perf::PerfModel;

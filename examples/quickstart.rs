@@ -1,0 +1,55 @@
+//! Quickstart: run a small server workload under the default system
+//! configuration and under the paper's Optimal daemon, and compare.
+//!
+//! ```text
+//! cargo run -p avfs-experiments --example quickstart
+//! ```
+
+use avfs_chip::presets;
+use avfs_core::configs::EvalConfig;
+use avfs_sched::system::{System, SystemConfig};
+use avfs_sim::time::SimDuration;
+use avfs_workloads::{GeneratorConfig, PerfModel, WorkloadTrace};
+
+fn main() {
+    // 1. Generate a reproducible 10-minute server workload for the
+    //    8-core X-Gene 2 (random programs from the 35-program pool).
+    let mut gen = GeneratorConfig::paper_default(8, 42);
+    gen.duration = SimDuration::from_secs(600);
+    gen.job_scale = 0.3;
+    let trace = WorkloadTrace::generate(&gen);
+    println!(
+        "workload: {} jobs over {}s on X-Gene 2",
+        trace.len(),
+        trace.duration.as_secs_f64()
+    );
+
+    // 2. Replay it under Baseline and Optimal.
+    let mut baseline = None;
+    for config in [EvalConfig::Baseline, EvalConfig::Optimal] {
+        let chip = presets::xgene2().build();
+        let mut driver = config.driver(&chip);
+        let mut system = System::new(chip, PerfModel::xgene2(), SystemConfig::default());
+        let metrics = system.run(&trace, driver.as_mut());
+
+        println!("\n== {config} ==");
+        println!("  completion time : {:8.1} s", metrics.makespan.as_secs_f64());
+        println!("  average power   : {:8.2} W", metrics.avg_power_w);
+        println!("  energy          : {:8.1} J", metrics.energy_j);
+        println!("  ED2P            : {:8.3e} J*s^2", metrics.ed2p());
+        println!("  unsafe time     : {:8.3} s", metrics.unsafe_time_s);
+        if let Some(base) = &baseline {
+            println!(
+                "  energy savings  : {:8.1} %",
+                metrics.energy_savings_vs(base) * 100.0
+            );
+            println!(
+                "  time penalty    : {:8.2} %",
+                metrics.time_penalty_vs(base) * 100.0
+            );
+        }
+        if baseline.is_none() {
+            baseline = Some(metrics);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Server-consolidation scenario: a 32-core X-Gene 3 absorbing the load
+//! of several decommissioned small hosts.
+//!
+//! The interesting question for an operator: once the big box runs a mix
+//! of latency-tolerant batch analytics (memory-bound) and compute jobs,
+//! how much energy does the daemon save, and what does it cost in
+//! completion time? This example replays the same consolidated workload
+//! under all four §VI-B configurations and prints Table III/IV-style
+//! rows plus the per-class placement picture at peak load.
+//!
+//! ```text
+//! cargo run -p avfs-experiments --example server_consolidation
+//! ```
+
+use avfs_chip::presets;
+use avfs_core::configs::EvalConfig;
+use avfs_sched::system::{System, SystemConfig};
+use avfs_sim::time::{SimDuration, SimTime};
+use avfs_workloads::generator::{Arrival, WorkloadTrace};
+use avfs_workloads::{Benchmark, PerfModel};
+
+/// Builds the consolidation mix: three waves of batch analytics
+/// (memory-bound SPEC jobs), a steady trickle of compute jobs, and two
+/// parallel NPB runs.
+fn consolidation_trace() -> WorkloadTrace {
+    let mut arrivals = Vec::new();
+    let analytics = [
+        Benchmark::SpecMilc,
+        Benchmark::SpecMcf,
+        Benchmark::SpecLbm,
+        Benchmark::SpecOmnetpp,
+        Benchmark::SpecSoplex,
+        Benchmark::SpecGemsFdtd,
+    ];
+    let compute = [
+        Benchmark::SpecNamd,
+        Benchmark::SpecGamess,
+        Benchmark::SpecPovray,
+        Benchmark::SpecGromacs,
+    ];
+    // Three analytics waves at t = 0, 200, 400 s (8 jobs each).
+    for wave in 0..3u64 {
+        for i in 0..8usize {
+            arrivals.push(Arrival {
+                at: SimTime::from_secs(wave * 200 + (i as u64) * 2),
+                bench: analytics[i % analytics.len()],
+                threads: 1,
+                scale: 0.4,
+            });
+        }
+    }
+    // Compute trickle: one job every 30 s.
+    for i in 0..20u64 {
+        arrivals.push(Arrival {
+            at: SimTime::from_secs(i * 30),
+            bench: compute[(i as usize) % compute.len()],
+            threads: 1,
+            scale: 0.3,
+        });
+    }
+    // Two parallel NPB runs mid-window.
+    arrivals.push(Arrival {
+        at: SimTime::from_secs(120),
+        bench: Benchmark::NpbCg,
+        threads: 8,
+        scale: 0.3,
+    });
+    arrivals.push(Arrival {
+        at: SimTime::from_secs(300),
+        bench: Benchmark::NpbEp,
+        threads: 8,
+        scale: 0.3,
+    });
+    arrivals.sort_by_key(|a| a.at);
+    WorkloadTrace {
+        arrivals,
+        duration: SimDuration::from_secs(600),
+    }
+}
+
+fn main() {
+    let trace = consolidation_trace();
+    println!(
+        "consolidated workload: {} jobs, {} threads total, X-Gene 3",
+        trace.len(),
+        trace.total_threads()
+    );
+    println!(
+        "{:>10} | {:>9} | {:>8} | {:>10} | {:>8} | {:>7} | {:>6}",
+        "config", "time (s)", "avg W", "energy (J)", "savings", "penalty", "migr"
+    );
+
+    let mut baseline = None;
+    for config in EvalConfig::ALL {
+        let chip = presets::xgene3().build();
+        let mut driver = config.driver(&chip);
+        let mut system = System::new(chip, PerfModel::xgene3(), SystemConfig::default());
+        let m = system.run(&trace, driver.as_mut());
+        let (savings, penalty) = match &baseline {
+            Some(b) => (
+                m.energy_savings_vs(b) * 100.0,
+                m.time_penalty_vs(b) * 100.0,
+            ),
+            None => (0.0, 0.0),
+        };
+        println!(
+            "{:>10} | {:>9.1} | {:>8.2} | {:>10.1} | {:>6.1} % | {:>5.2} % | {:>6}",
+            config.label(),
+            m.makespan.as_secs_f64(),
+            m.avg_power_w,
+            m.energy_j,
+            savings,
+            penalty,
+            m.migrations,
+        );
+        assert_eq!(m.unsafe_time_s, 0.0, "configuration went below safe Vmin!");
+        if baseline.is_none() {
+            baseline = Some(m);
+        } else if config == EvalConfig::Optimal {
+            // Show the class mix the daemon ended up scheduling.
+            let peak_mem = m.mem_class_trace.max().unwrap_or(0.0);
+            let peak_cpu = m.cpu_class_trace.max().unwrap_or(0.0);
+            println!(
+                "\nOptimal run: peak concurrent memory-intensive procs = {peak_mem}, \
+                 CPU-intensive = {peak_cpu}"
+            );
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Vmin explorer: walk the safe-Vmin surface of a chip the way the
+//! paper's characterization campaign does.
+//!
+//! Prints, for both machines: the guardband at every droop class and
+//! frequency class, the Figure 10 factor decomposition, and a
+//! characterization campaign for one benchmark (descending voltage with
+//! outcome counts — the raw material of Figures 4/5).
+//!
+//! ```text
+//! cargo run -p avfs-experiments --example vmin_explorer
+//! ```
+
+use avfs_chip::failure::RunOutcome;
+use avfs_chip::freq::FreqVminClass;
+use avfs_chip::vmin::{DroopClass, VminQuery};
+use avfs_chip::Millivolts;
+use avfs_experiments::{factors, Machine};
+use avfs_sim::RngStream;
+use avfs_workloads::Benchmark;
+use std::collections::BTreeMap;
+
+fn main() {
+    for machine in Machine::BOTH {
+        let chip = machine.chip_builder().build();
+        let model = chip.vmin_model();
+        let nominal = chip.nominal_voltage();
+        println!("=== {machine} (nominal {nominal}) ===\n");
+
+        // Guardband per droop class and frequency class.
+        println!(
+            "{:<14} {:>14} {:>14} {:>14}",
+            "droop class", "divided", "reduced", "max"
+        );
+        for class in DroopClass::ALL {
+            let pmds = match class {
+                DroopClass::D25 => 1,
+                DroopClass::D35 => chip.spec().pmds() as usize / 4,
+                DroopClass::D45 => chip.spec().pmds() as usize / 2,
+                DroopClass::D55 => chip.spec().pmds() as usize,
+            }
+            .max(1);
+            let row: Vec<String> = [
+                FreqVminClass::Divided,
+                FreqVminClass::Reduced,
+                FreqVminClass::Max,
+            ]
+            .iter()
+            .map(|&fc| {
+                let q = VminQuery {
+                    freq_class: fc,
+                    utilized_pmds: pmds,
+                    active_threads: pmds * 2,
+                    workload_sensitivity: 0.0,
+                };
+                let v = model.safe_vmin(&q);
+                format!("{v} (-{}mV)", nominal - v)
+            })
+            .collect();
+            println!(
+                "{:<14} {:>14} {:>14} {:>14}",
+                class.to_string(),
+                row[0],
+                row[1],
+                row[2]
+            );
+        }
+
+        // Figure 10 decomposition.
+        println!("\n{}", factors::fig10(machine));
+    }
+
+    // A raw characterization campaign, as in §III: descend voltage and
+    // count outcomes per level for one benchmark on the X-Gene 2.
+    let chip = Machine::XGene2.chip_builder().build();
+    let bench = Benchmark::NpbLu;
+    let q = VminQuery {
+        freq_class: FreqVminClass::Max,
+        utilized_pmds: 4,
+        active_threads: 8,
+        workload_sensitivity: bench.profile().vmin_sensitivity,
+    };
+    let safe = chip.vmin_model().safe_vmin(&q);
+    let droop = chip.vmin_model().droop_class(4);
+    let mut rng = RngStream::from_root(7, "vmin-explorer");
+    println!("=== campaign: {bench} 8T @2.4GHz on X-Gene 2 (60 runs/level) ===");
+    println!("{:>8} {:>8} {:>6} {:>8} {:>6} {:>6}", "mV", "pass", "SDC", "timeout", "crash", "hang");
+    let mut v = safe.as_mv() + 15;
+    loop {
+        let voltage = Millivolts::new(v);
+        let mut counts: BTreeMap<&str, u32> = BTreeMap::new();
+        for _ in 0..60 {
+            let outcome = chip
+                .failure_model()
+                .sample_outcome(voltage, safe, droop, &mut rng);
+            let key = match outcome {
+                RunOutcome::Correct => "pass",
+                RunOutcome::Sdc => "sdc",
+                RunOutcome::Timeout => "timeout",
+                RunOutcome::SystemCrash => "crash",
+                RunOutcome::ThreadHang => "hang",
+                _ => "other",
+            };
+            *counts.entry(key).or_default() += 1;
+        }
+        let g = |k: &str| counts.get(k).copied().unwrap_or(0);
+        println!(
+            "{:>8} {:>8} {:>6} {:>8} {:>6} {:>6}",
+            v,
+            g("pass"),
+            g("sdc"),
+            g("timeout"),
+            g("crash"),
+            g("hang")
+        );
+        if g("pass") == 0 {
+            println!("(complete failure — campaign stops; safe Vmin was {safe})");
+            break;
+        }
+        v -= 10;
+    }
+}

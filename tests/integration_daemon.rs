@@ -1,0 +1,221 @@
+//! End-to-end daemon integration: the paper's configurations on the full
+//! system simulator.
+
+use avfs_chip::presets;
+use avfs_core::configs::EvalConfig;
+use avfs_core::daemon::Daemon;
+use avfs_sched::system::{System, SystemConfig};
+use avfs_sim::time::{SimDuration, SimTime};
+use avfs_workloads::generator::{Arrival, GeneratorConfig, WorkloadTrace};
+use avfs_workloads::{Benchmark, PerfModel};
+
+fn trace(cores: usize, seed: u64, secs: u64) -> WorkloadTrace {
+    let mut cfg = GeneratorConfig::paper_default(cores, seed);
+    cfg.duration = SimDuration::from_secs(secs);
+    cfg.job_scale = 0.2;
+    WorkloadTrace::generate(&cfg)
+}
+
+fn run(machine_is_xg3: bool, t: &WorkloadTrace, cfg: EvalConfig) -> avfs_sched::RunMetrics {
+    let (chip, perf) = if machine_is_xg3 {
+        (presets::xgene3().build(), PerfModel::xgene3())
+    } else {
+        (presets::xgene2().build(), PerfModel::xgene2())
+    };
+    let mut driver = cfg.driver(&chip);
+    let mut system = System::new(chip, perf, SystemConfig::default());
+    system.run(t, driver.as_mut())
+}
+
+#[test]
+fn optimal_never_operates_below_safe_vmin() {
+    // The paper's central reliability claim, across several seeds and
+    // both machines.
+    for seed in [1u64, 7, 42] {
+        for xg3 in [false, true] {
+            let cores = if xg3 { 32 } else { 8 };
+            let t = trace(cores, seed, 400);
+            let m = run(xg3, &t, EvalConfig::Optimal);
+            assert_eq!(m.unsafe_time_s, 0.0, "seed {seed}, xg3={xg3}");
+            assert_eq!(m.failures, 0, "seed {seed}, xg3={xg3}");
+        }
+    }
+}
+
+#[test]
+fn all_configs_complete_identical_job_sets() {
+    let t = trace(8, 3, 400);
+    let mut finished: Vec<usize> = Vec::new();
+    for cfg in EvalConfig::ALL {
+        let m = run(false, &t, cfg);
+        finished.push(m.completed.len());
+    }
+    assert!(finished.windows(2).all(|w| w[0] == w[1]), "{finished:?}");
+    assert_eq!(finished[0], t.len());
+}
+
+#[test]
+fn savings_ordering_matches_the_paper_shape() {
+    // Optimal saves the most; both partial configurations save something;
+    // time penalties stay small.
+    for xg3 in [false, true] {
+        let cores = if xg3 { 32 } else { 8 };
+        let t = trace(cores, 2024, 600);
+        let base = run(xg3, &t, EvalConfig::Baseline);
+        let safe = run(xg3, &t, EvalConfig::SafeVmin);
+        let plac = run(xg3, &t, EvalConfig::Placement);
+        let opt = run(xg3, &t, EvalConfig::Optimal);
+        let s = |m: &avfs_sched::RunMetrics| m.energy_savings_vs(&base);
+        assert!(s(&opt) > 0.12, "xg3={xg3}: optimal {:.3}", s(&opt));
+        assert!(s(&safe) > 0.02, "xg3={xg3}: safe-vmin {:.3}", s(&safe));
+        assert!(s(&plac) > 0.0, "xg3={xg3}: placement {:.3}", s(&plac));
+        assert!(s(&opt) > s(&safe), "xg3={xg3}");
+        assert!(s(&opt) > s(&plac), "xg3={xg3}");
+        assert!(
+            opt.time_penalty_vs(&base) < 0.08,
+            "xg3={xg3}: penalty {:.3}",
+            opt.time_penalty_vs(&base)
+        );
+        // ED2P also improves (the paper's efficiency criterion).
+        assert!(opt.ed2p_savings_vs(&base) > 0.10, "xg3={xg3}");
+    }
+}
+
+#[test]
+fn daemon_reacts_to_class_changes_with_migration() {
+    // A single memory-intensive job starts (classified CPU by default,
+    // placed clustered at fmax) and must be migrated to a reduced-speed
+    // PMD once the monitor classifies it.
+    let t = WorkloadTrace {
+        arrivals: vec![Arrival {
+            at: SimTime::ZERO,
+            bench: Benchmark::SpecMilc,
+            threads: 1,
+            scale: 0.2,
+        }],
+        duration: SimDuration::from_secs(120),
+    };
+    let chip = presets::xgene3().build();
+    let mut daemon = Daemon::optimal(&chip);
+    let mut system = System::new(chip, PerfModel::xgene3(), SystemConfig::default());
+    let m = system.run(&t, &mut daemon);
+    assert_eq!(m.completed.len(), 1);
+    assert!(m.migrations >= 1, "no migration happened");
+    // The job ran (partly) at reduced frequency: makespan exceeds the
+    // all-fmax solo time.
+    let solo_at_fmax = PerfModel::xgene3().solo_time_s(&Benchmark::SpecMilc.profile(), 3_000) * 0.2;
+    assert!(m.makespan.as_secs_f64() > solo_at_fmax * 1.05);
+}
+
+#[test]
+fn cpu_jobs_keep_full_speed_under_optimal() {
+    // A purely CPU-intensive job must not be slowed by the daemon.
+    let t = WorkloadTrace {
+        arrivals: vec![Arrival {
+            at: SimTime::ZERO,
+            bench: Benchmark::SpecNamd,
+            threads: 1,
+            scale: 0.2,
+        }],
+        duration: SimDuration::from_secs(200),
+    };
+    let base = run(false, &t, EvalConfig::Baseline);
+    let opt = run(false, &t, EvalConfig::Optimal);
+    let rel = opt.makespan.as_secs_f64() / base.makespan.as_secs_f64();
+    assert!((0.99..=1.02).contains(&rel), "namd slowed by {rel}");
+}
+
+#[test]
+fn phased_program_is_reclassified_and_migrated() {
+    // gcc alternates compute and memory phases (avfs_workloads::phases);
+    // the daemon must observe the flips (event type (b) of §VI-A) and
+    // re-place the process at least twice: onto a reduced-speed PMD when
+    // it turns memory-intensive, and back when it turns compute-bound.
+    let t = WorkloadTrace {
+        arrivals: vec![Arrival {
+            at: SimTime::ZERO,
+            bench: Benchmark::SpecGcc,
+            threads: 1,
+            scale: 0.6,
+        }],
+        duration: SimDuration::from_secs(300),
+    };
+    let chip = presets::xgene3().build();
+    let mut daemon = Daemon::optimal(&chip);
+    let mut system = System::new(chip, PerfModel::xgene3(), SystemConfig::default());
+    let m = system.run(&t, &mut daemon);
+    assert_eq!(m.completed.len(), 1);
+    assert!(
+        m.migrations >= 2,
+        "expected phase-driven migrations, got {}",
+        m.migrations
+    );
+    assert_eq!(m.unsafe_time_s, 0.0);
+    // Both classes were observed at some point during the run.
+    assert!(m.mem_class_trace.max().unwrap_or(0.0) >= 1.0);
+    assert!(m.cpu_class_trace.max().unwrap_or(0.0) >= 1.0);
+}
+
+#[test]
+fn steady_program_is_never_reclassified() {
+    // namd has no phases: zero class-driven migrations under Optimal.
+    let t = WorkloadTrace {
+        arrivals: vec![Arrival {
+            at: SimTime::ZERO,
+            bench: Benchmark::SpecNamd,
+            threads: 1,
+            scale: 0.3,
+        }],
+        duration: SimDuration::from_secs(300),
+    };
+    let m = run(true, &t, EvalConfig::Optimal);
+    assert_eq!(m.completed.len(), 1);
+    assert_eq!(m.migrations, 0);
+}
+
+#[test]
+fn daemon_actions_are_never_rejected() {
+    for seed in [5u64, 9] {
+        let t = trace(32, seed, 400);
+        let chip = presets::xgene3().build();
+        let mut daemon = Daemon::optimal(&chip);
+        let mut system = System::new(chip, PerfModel::xgene3(), SystemConfig::default());
+        let _ = system.run(&t, &mut daemon);
+        assert_eq!(system.rejected_actions(), 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn daemon_is_minimally_intrusive() {
+    // §VI-A: the daemon's overhead is periodic counter reads plus
+    // event-driven placement. Voltage-change traffic must stay far below
+    // one change per second.
+    let t = trace(32, 11, 600);
+    let m = run(true, &t, EvalConfig::Optimal);
+    let per_second = m.voltage_changes as f64 / m.makespan.as_secs_f64();
+    assert!(per_second < 1.0, "{per_second} voltage changes/s");
+    // Migrations stay bounded by a small multiple of the job count.
+    assert!(
+        (m.migrations as usize) < 6 * m.completed.len(),
+        "{} migrations for {} jobs",
+        m.migrations,
+        m.completed.len()
+    );
+}
+
+#[test]
+fn safe_vmin_is_a_single_static_undervolt() {
+    let t = trace(8, 13, 300);
+    let m = run(false, &t, EvalConfig::SafeVmin);
+    // One voltage change at initialization, none after.
+    assert_eq!(m.voltage_changes, 1);
+    assert_eq!(m.unsafe_time_s, 0.0);
+}
+
+#[test]
+fn placement_runs_at_nominal_voltage() {
+    let t = trace(8, 17, 300);
+    let m = run(false, &t, EvalConfig::Placement);
+    assert_eq!(m.voltage_changes, 0);
+    assert_eq!(m.unsafe_time_s, 0.0);
+}

@@ -1,0 +1,232 @@
+//! Cross-crate integration: chip model + workloads + scheduler substrate.
+
+use avfs_chip::presets;
+use avfs_chip::topology::CoreSet;
+use avfs_sched::driver::DefaultPolicy;
+use avfs_sched::governor::GovernorMode;
+use avfs_sched::system::{System, SystemConfig};
+use avfs_sim::time::{SimDuration, SimTime};
+use avfs_workloads::generator::{Arrival, GeneratorConfig, WorkloadTrace};
+use avfs_workloads::{Benchmark, PerfModel};
+
+fn xg2_system() -> System {
+    System::new(
+        presets::xgene2().build(),
+        PerfModel::xgene2(),
+        SystemConfig::default(),
+    )
+}
+
+fn xg3_system() -> System {
+    System::new(
+        presets::xgene3().build(),
+        PerfModel::xgene3(),
+        SystemConfig::default(),
+    )
+}
+
+fn gen_trace(cores: usize, seed: u64, secs: u64) -> WorkloadTrace {
+    let mut cfg = GeneratorConfig::paper_default(cores, seed);
+    cfg.duration = SimDuration::from_secs(secs);
+    cfg.job_scale = 0.2;
+    WorkloadTrace::generate(&cfg)
+}
+
+#[test]
+fn full_runs_are_bit_deterministic() {
+    let trace = gen_trace(8, 99, 300);
+    let a = xg2_system().run(&trace, &mut DefaultPolicy::ondemand());
+    let b = xg2_system().run(&trace, &mut DefaultPolicy::ondemand());
+    assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.power_trace, b.power_trace);
+    assert_eq!(a.completed, b.completed);
+}
+
+#[test]
+fn energy_is_the_integral_of_power() {
+    // Cross-check the scalar energy metric against the sampled power
+    // trace: a 1 Hz Riemann sum should land within a few percent.
+    let trace = gen_trace(8, 5, 400);
+    let m = xg2_system().run(&trace, &mut DefaultPolicy::ondemand());
+    let trace_sum: f64 = m.power_trace.values().iter().sum();
+    let rel = (trace_sum - m.energy_j).abs() / m.energy_j;
+    assert!(rel < 0.08, "trace sum {trace_sum} vs energy {} ({rel})", m.energy_j);
+}
+
+#[test]
+fn both_machines_run_the_same_generator_pool() {
+    let t2 = gen_trace(8, 1, 300);
+    let t3 = gen_trace(32, 1, 300);
+    let m2 = xg2_system().run(&t2, &mut DefaultPolicy::ondemand());
+    let m3 = xg3_system().run(&t3, &mut DefaultPolicy::ondemand());
+    assert_eq!(m2.completed.len(), t2.len());
+    assert_eq!(m3.completed.len(), t3.len());
+    // The 32-core machine draws more power at similar relative load.
+    assert!(m3.avg_power_w > m2.avg_power_w);
+}
+
+#[test]
+fn performance_governor_beats_powersave_on_makespan() {
+    let trace = gen_trace(8, 21, 300);
+    let fast = xg2_system().run(
+        &trace,
+        &mut DefaultPolicy::with_governor(GovernorMode::Performance),
+    );
+    let slow = xg2_system().run(
+        &trace,
+        &mut DefaultPolicy::with_governor(GovernorMode::Powersave),
+    );
+    assert!(
+        slow.makespan > fast.makespan,
+        "powersave {} !> performance {}",
+        slow.makespan,
+        fast.makespan
+    );
+    // And the trade is visible in average power.
+    assert!(slow.avg_power_w < fast.avg_power_w);
+}
+
+#[test]
+fn mixed_job_sizes_and_threads_all_complete() {
+    let arrivals = vec![
+        Arrival {
+            at: SimTime::ZERO,
+            bench: Benchmark::NpbCg,
+            threads: 8,
+            scale: 0.1,
+        },
+        Arrival {
+            at: SimTime::from_secs(2),
+            bench: Benchmark::SpecNamd,
+            threads: 1,
+            scale: 0.05,
+        },
+        Arrival {
+            at: SimTime::from_secs(4),
+            bench: Benchmark::NpbEp,
+            threads: 4,
+            scale: 0.08,
+        },
+        Arrival {
+            at: SimTime::from_secs(4),
+            bench: Benchmark::SpecMcf,
+            threads: 1,
+            scale: 0.2,
+        },
+    ];
+    let trace = WorkloadTrace {
+        arrivals,
+        duration: SimDuration::from_secs(300),
+    };
+    let mut sys = xg3_system();
+    let m = sys.run(&trace, &mut DefaultPolicy::ondemand());
+    assert_eq!(m.completed.len(), 4);
+    assert_eq!(sys.live_processes(), 0);
+    assert_eq!(sys.rejected_actions(), 0);
+}
+
+#[test]
+fn oversubscription_queues_and_eventually_drains() {
+    // 3× more single-thread jobs than cores, all at t=0.
+    let arrivals: Vec<Arrival> = (0..24)
+        .map(|i| Arrival {
+            at: SimTime::ZERO,
+            bench: if i % 2 == 0 {
+                Benchmark::SpecHmmer
+            } else {
+                Benchmark::SpecLbm
+            },
+            threads: 1,
+            scale: 0.05,
+        })
+        .collect();
+    let trace = WorkloadTrace {
+        arrivals,
+        duration: SimDuration::from_secs(1_000),
+    };
+    let mut sys = xg2_system();
+    let m = sys.run(&trace, &mut DefaultPolicy::ondemand());
+    assert_eq!(m.completed.len(), 24);
+    // Concurrency never exceeded the core count.
+    assert!(m.load_trace.max().unwrap_or(0.0) <= 8.0);
+}
+
+#[test]
+fn pmu_counters_reflect_execution() {
+    let trace = WorkloadTrace {
+        arrivals: vec![Arrival {
+            at: SimTime::ZERO,
+            bench: Benchmark::SpecMilc,
+            threads: 1,
+            scale: 0.1,
+        }],
+        duration: SimDuration::from_secs(120),
+    };
+    let mut sys = xg2_system();
+    let _ = sys.run(&trace, &mut DefaultPolicy::ondemand());
+    let pmu = sys.chip().pmu();
+    let total_cycles: u64 = (0..8)
+        .map(|i| pmu.core(avfs_chip::CoreId::new(i)).cycles)
+        .sum();
+    assert!(total_cycles > 1_000_000, "cycles {total_cycles}");
+    // milc is memory-intensive: the recorded L3 rate must exceed the
+    // classification threshold.
+    let busy_core = (0..8)
+        .map(avfs_chip::CoreId::new)
+        .max_by_key(|&c| pmu.core(c).cycles)
+        .unwrap();
+    assert!(pmu.core(busy_core).l3_per_mcycle() > 3_000.0);
+}
+
+#[test]
+fn droop_counters_track_utilization_width() {
+    // A full-chip run reaches the top droop band; a single-PMD run does
+    // not.
+    let full = WorkloadTrace {
+        arrivals: (0..8)
+            .map(|_| Arrival {
+                at: SimTime::ZERO,
+                bench: Benchmark::NpbLu,
+                threads: 1,
+                scale: 0.1,
+            })
+            .collect(),
+        duration: SimDuration::from_secs(300),
+    };
+    let narrow = WorkloadTrace {
+        arrivals: vec![Arrival {
+            at: SimTime::ZERO,
+            bench: Benchmark::NpbLu,
+            threads: 1,
+            scale: 0.1,
+        }],
+        duration: SimDuration::from_secs(300),
+    };
+    let mut sys_full = xg2_system();
+    let _ = sys_full.run(&full, &mut DefaultPolicy::ondemand());
+    let mut sys_narrow = xg2_system();
+    let _ = sys_narrow.run(&narrow, &mut DefaultPolicy::ondemand());
+    let top = avfs_chip::DroopClass::D55;
+    assert!(sys_full.chip().pmu().droops().in_band(top) > 0);
+    assert_eq!(sys_narrow.chip().pmu().droops().in_band(top), 0);
+}
+
+#[test]
+fn nominal_runs_are_always_safe() {
+    for seed in [1u64, 2, 3] {
+        let trace = gen_trace(32, seed, 300);
+        let m = xg3_system().run(&trace, &mut DefaultPolicy::ondemand());
+        assert_eq!(m.unsafe_time_s, 0.0, "seed {seed}");
+        assert_eq!(m.failures, 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn busy_cores_reported_through_view_match_system() {
+    let mut sys = xg2_system();
+    let pid = sys.submit(Benchmark::SpecGcc, 2, 0.1);
+    // Nothing is running until a trace/run admits it.
+    assert_eq!(sys.busy_cores(), CoreSet::EMPTY);
+    let _ = pid;
+}
