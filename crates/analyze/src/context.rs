@@ -1,0 +1,81 @@
+//! The artifacts an invariant is checked against.
+
+use avfs_chip::chip::Chip;
+use avfs_chip::freq::CppcBehavior;
+use avfs_chip::presets::{self, ChipBuilder};
+use avfs_chip::topology::ChipSpec;
+use avfs_chip::vmin::VminTables;
+use avfs_core::policy::PolicyTable;
+
+/// Everything the invariant registry inspects for one chip configuration:
+/// the spec, the *raw* Vmin tables, a built chip (whose model the
+/// constructors already validated), and the characterized policy table.
+///
+/// Table- and policy-level invariants read the raw artifacts (`tables`,
+/// `policy`) so deliberately broken ones can be injected via
+/// [`AnalysisContext::with_tables`] / [`AnalysisContext::with_policy`]
+/// without tripping the constructors' panics; model- and power-level
+/// invariants query the built `chip`.
+#[derive(Debug, Clone)]
+pub struct AnalysisContext {
+    /// Human-readable configuration name for reports.
+    pub name: String,
+    /// The chip's static description.
+    pub spec: ChipSpec,
+    /// CPPC firmware behaviour.
+    pub behavior: CppcBehavior,
+    /// Raw calibrated Vmin tables (checked without constructing a model).
+    pub tables: VminTables,
+    /// The built chip, for model/power/droop queries.
+    pub chip: Chip,
+    /// The characterized (or injected) policy table.
+    pub policy: PolicyTable,
+}
+
+impl AnalysisContext {
+    /// Builds a context from a chip builder: the chip, its tables, and a
+    /// freshly characterized policy table.
+    pub fn from_builder(name: &str, builder: &ChipBuilder) -> Self {
+        let chip = builder.build();
+        let tables = chip.vmin_model().tables().clone();
+        let policy = PolicyTable::from_characterization(chip.vmin_model());
+        AnalysisContext {
+            name: name.to_string(),
+            spec: chip.spec().clone(),
+            behavior: chip.behavior(),
+            tables,
+            chip,
+            policy,
+        }
+    }
+
+    /// The X-Gene 2 preset.
+    pub fn xgene2() -> Self {
+        Self::from_builder("X-Gene 2", &presets::xgene2())
+    }
+
+    /// The X-Gene 3 preset.
+    pub fn xgene3() -> Self {
+        Self::from_builder("X-Gene 3", &presets::xgene3())
+    }
+
+    /// Both presets, in paper order.
+    pub fn presets() -> Vec<AnalysisContext> {
+        vec![Self::xgene2(), Self::xgene3()]
+    }
+
+    /// Replaces the raw Vmin tables (for injecting broken artifacts in
+    /// tests); the built chip keeps its original, validated model.
+    #[must_use]
+    pub fn with_tables(mut self, tables: VminTables) -> Self {
+        self.tables = tables;
+        self
+    }
+
+    /// Replaces the policy table (for injecting broken artifacts).
+    #[must_use]
+    pub fn with_policy(mut self, policy: PolicyTable) -> Self {
+        self.policy = policy;
+        self
+    }
+}

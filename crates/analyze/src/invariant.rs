@@ -1,0 +1,52 @@
+//! The invariant trait, violation type, and registry.
+
+use crate::context::AnalysisContext;
+use crate::invariants;
+use std::fmt;
+
+/// A broken invariant, reported as data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Name of the invariant that failed (matches [`Invariant::name`]).
+    pub invariant: &'static str,
+    /// Where in the artifact the violation sits, e.g.
+    /// `base_mv[Max][D45]` or `policy[Reduced][D35][bucket 2]`.
+    pub location: String,
+    /// What is wrong and why it matters.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at {}: {}",
+            self.invariant, self.location, self.message
+        )
+    }
+}
+
+/// One checkable domain fact.
+///
+/// Implementations must never panic on broken artifacts — a violated
+/// invariant is a *result*, not a crash — which is why table- and
+/// policy-level checks read raw tables instead of constructing the
+/// (asserting) model types.
+pub trait Invariant {
+    /// Stable identifier, used in reports and violation records.
+    fn name(&self) -> &'static str;
+    /// One-line statement of the fact being checked.
+    fn description(&self) -> &'static str;
+    /// Checks the fact against a context; empty means it holds.
+    fn check(&self, cx: &AnalysisContext) -> Vec<Violation>;
+}
+
+/// All registered invariants, in report order.
+pub fn registry() -> Vec<Box<dyn Invariant>> {
+    invariants::all()
+}
+
+/// Runs the full registry against a context.
+pub fn check_all(cx: &AnalysisContext) -> Vec<Violation> {
+    registry().iter().flat_map(|inv| inv.check(cx)).collect()
+}

@@ -1,0 +1,43 @@
+//! Static analysis and dynamic invariant exploration for the AVFS
+//! workspace.
+//!
+//! The reproduction's correctness rests on a handful of domain facts the
+//! paper takes for granted — safe Vmin is monotone in frequency class,
+//! droop class, and utilized-PMD count; the characterized policy table is
+//! total and covers the model; every intermediate state of a daemon
+//! transition is safe. This crate makes those facts *checkable*:
+//!
+//! * [`invariant`] — an [`invariant::Invariant`] trait plus a registry of
+//!   domain invariants evaluated against a constructed
+//!   [`context::AnalysisContext`] (a chip, its raw Vmin tables, and its
+//!   characterized policy table). Violations carry a location and an
+//!   explanation, so a table hole or inversion is reported as data, not a
+//!   panic.
+//! * [`lint`] — a source-level lint driver that walks the workspace's
+//!   non-test library code and flags banned patterns (`unwrap`/`expect`,
+//!   float `==`, `thread::sleep` in sim-clocked paths, truncating `as`
+//!   casts near voltage/frequency arithmetic) against a committed
+//!   allowlist, so existing debt is frozen and new debt fails the build.
+//! * [`race`] — a deterministic interleaving-exploration harness that
+//!   replays seeded event schedules through the daemon, applies its
+//!   actions one atomic step at a time, and asserts the shared-state
+//!   invariants (no torn V/F pair, no mid-migration mask, rail in range)
+//!   after every step — the property the fail-safe ordering exists to
+//!   maintain.
+//!
+//! Run all three from the binary:
+//!
+//! ```text
+//! cargo run -p avfs-analyze -- invariants
+//! cargo run -p avfs-analyze -- lint
+//! cargo run -p avfs-analyze -- race --schedules 128
+//! ```
+
+pub mod context;
+pub mod invariant;
+pub mod invariants;
+pub mod lint;
+pub mod race;
+
+pub use context::AnalysisContext;
+pub use invariant::{check_all, registry, Invariant, Violation};

@@ -1,0 +1,135 @@
+//! `avfs-analyze` — invariant checker, domain lints, and race explorer.
+//!
+//! ```text
+//! cargo run -p avfs-analyze -- invariants
+//! cargo run -p avfs-analyze -- lint [--update-allowlist]
+//! cargo run -p avfs-analyze -- race [--schedules N] [--events N] [--seed S]
+//! cargo run -p avfs-analyze -- all
+//! ```
+//!
+//! Every subcommand exits nonzero when it finds a violation, so the whole
+//! binary can gate CI (`scripts/check.sh` runs `all`).
+
+use avfs_analyze::invariant::{check_all, registry};
+use avfs_analyze::{lint, race};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: avfs-analyze <invariants | lint [--update-allowlist] | \
+         race [--schedules N] [--events N] [--seed S] | all>"
+    );
+    ExitCode::from(2)
+}
+
+fn run_invariants() -> bool {
+    let checks = registry();
+    println!("registered invariants: {}", checks.len());
+    for inv in &checks {
+        println!("  {:<26} {}", inv.name(), inv.description());
+    }
+    let mut clean = true;
+    for cx in avfs_analyze::AnalysisContext::presets() {
+        let violations = check_all(&cx);
+        if violations.is_empty() {
+            println!("{}: all {} invariants hold", cx.name, checks.len());
+        } else {
+            clean = false;
+            println!("{}: {} violation(s)", cx.name, violations.len());
+            for v in &violations {
+                println!("  {v}");
+            }
+        }
+    }
+    clean
+}
+
+fn run_lint(update_allowlist: bool) -> bool {
+    let root = lint::workspace_root();
+    let allowlist_path = root.join("crates/analyze/lint-allowlist.txt");
+    let allowlist = std::fs::read_to_string(&allowlist_path)
+        .map(|text| lint::parse_allowlist(&text))
+        .unwrap_or_default();
+    let report = lint::run(&root, &allowlist);
+    println!(
+        "linted {} files: {} finding(s), {} over the allowlist",
+        report.files,
+        report.findings.len(),
+        report.new_violations.len()
+    );
+    if update_allowlist {
+        let rendered = lint::render_allowlist(&report.findings);
+        match std::fs::write(&allowlist_path, rendered) {
+            Ok(()) => {
+                println!("allowlist regenerated at {}", allowlist_path.display());
+                return true;
+            }
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", allowlist_path.display());
+                return false;
+            }
+        }
+    }
+    if report.is_clean() {
+        return true;
+    }
+    for (rule, path, found, allowed) in &report.new_violations {
+        println!("NEW [{rule}] {path}: {found} found, {allowed} allowlisted");
+        for f in report
+            .findings
+            .iter()
+            .filter(|f| f.rule == rule && f.path == *path)
+        {
+            println!("  {f}");
+        }
+    }
+    false
+}
+
+fn run_race(schedules: usize, events: usize, seed: u64) -> bool {
+    let report = race::explore(schedules, events, seed);
+    println!("{report}");
+    if !report.is_clean() {
+        for v in &report.violations {
+            println!("  {v}");
+        }
+    }
+    report.is_clean()
+}
+
+fn parse_flag(args: &[String], flag: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        return usage();
+    };
+    let ok = match cmd {
+        "invariants" => run_invariants(),
+        "lint" => run_lint(args.iter().any(|a| a == "--update-allowlist")),
+        "race" => {
+            let schedules = parse_flag(&args, "--schedules", 128) as usize;
+            let events = parse_flag(&args, "--events", 24) as usize;
+            let seed = parse_flag(&args, "--seed", 0xA5F5_0001);
+            run_race(schedules, events, seed)
+        }
+        "all" => {
+            let inv = run_invariants();
+            let lint_ok = run_lint(false);
+            let race_ok = run_race(128, 24, 0xA5F5_0001);
+            inv && lint_ok && race_ok
+        }
+        _ => return usage(),
+    };
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,384 @@
+//! Deterministic interleaving exploration for the daemon.
+//!
+//! The daemon's fail-safe ordering exists because its outputs are not
+//! applied atomically: voltage goes through the SLIMpro mailbox, per-PMD
+//! steps through CPPC, and affinity masks through the scheduler — three
+//! independent channels a concurrent monitor can observe between any two
+//! writes. The property the ordering must maintain (§VI-A) is that *every
+//! intermediate state* is safe: the rail always covers the safe Vmin of
+//! whatever is currently running at the current frequency program.
+//!
+//! [`explore`] replays seeded random event schedules (arrivals, finishes,
+//! re-classifications, monitor ticks, in permuted orders) through a real
+//! [`Daemon`] driving a real [`Chip`], applies each action list **one
+//! atomic action at a time**, and evaluates the shared-state invariants
+//! at every step boundary — exactly the points a concurrent
+//! monitor-sample could land on:
+//!
+//! * **no torn V/F pair** — `chip.is_voltage_safe_for(busy)` holds
+//!   between every pair of actions, not just at the end of a plan;
+//! * **no mid-migration mask** — running processes' core masks are
+//!   pairwise disjoint and exactly thread-count sized at every step;
+//! * **rail in range** — the voltage stays within `[floor, nominal]`
+//!   (every `SetVoltage` the daemon emits must be programmable).
+//!
+//! Schedules are pure functions of their seed (a splitmix64 stream), so
+//! any reported violation is replayable by seed.
+
+use avfs_chip::chip::Chip;
+use avfs_chip::freq::FreqStep;
+use avfs_chip::presets;
+use avfs_chip::topology::CoreSet;
+use avfs_core::daemon::Daemon;
+use avfs_sched::driver::{Action, Driver, ProcessView, SysEvent, SystemView};
+use avfs_sched::governor::GovernorMode;
+use avfs_sched::process::{Pid, ProcessState};
+use avfs_sim::time::SimTime;
+use avfs_workloads::classify::IntensityClass;
+use std::fmt;
+
+/// Outcome of one exploration campaign.
+#[derive(Debug, Clone, Default)]
+pub struct RaceReport {
+    /// Seeded schedules executed.
+    pub schedules: usize,
+    /// Events delivered to the daemon across all schedules.
+    pub events: u64,
+    /// Atomic actions applied.
+    pub actions: u64,
+    /// Invariant evaluations (one after every atomic action).
+    pub checks: u64,
+    /// Invariant violations, each tagged with its schedule seed.
+    pub violations: Vec<String>,
+}
+
+impl RaceReport {
+    /// True when every schedule ran violation-free.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} schedules, {} events, {} actions, {} interleaved checks, {} violations",
+            self.schedules,
+            self.events,
+            self.actions,
+            self.checks,
+            self.violations.len()
+        )
+    }
+}
+
+/// splitmix64: tiny, deterministic, seed-splittable — all the harness
+/// needs to derive permutations and workloads from a schedule id.
+struct Splitmix(u64);
+
+impl Splitmix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+/// One live process in the harness's mirror of the system.
+#[derive(Debug, Clone)]
+struct Proc {
+    pid: Pid,
+    threads: usize,
+    state: ProcessState,
+    assigned: CoreSet,
+    class: IntensityClass,
+}
+
+impl Proc {
+    fn view(&self) -> ProcessView {
+        ProcessView {
+            pid: self.pid,
+            threads: self.threads,
+            state: self.state,
+            assigned: self.assigned,
+            // The kernel sampler reports an L3 rate consistent with the
+            // class (the daemon's 3000-accesses threshold sits between).
+            l3c_per_mcycle: Some(match self.class {
+                IntensityClass::CpuIntensive => 200.0,
+                IntensityClass::MemoryIntensive => 15_000.0,
+            }),
+            class: Some(self.class),
+            arrived_at: SimTime::ZERO,
+        }
+    }
+}
+
+/// The mirrored system one schedule runs against.
+struct Harness {
+    chip: Chip,
+    procs: Vec<Proc>,
+    governor: GovernorMode,
+    seed: u64,
+    report: RaceReport,
+}
+
+impl Harness {
+    fn new(seed: u64) -> Self {
+        // Alternate chips so both firmware behaviours are explored.
+        let chip = if seed.is_multiple_of(2) {
+            presets::xgene2().build()
+        } else {
+            presets::xgene3().build()
+        };
+        Harness {
+            chip,
+            procs: Vec::new(),
+            governor: GovernorMode::Ondemand,
+            seed,
+            report: RaceReport::default(),
+        }
+    }
+
+    fn view(&self) -> SystemView {
+        let spec = self.chip.spec();
+        SystemView {
+            now: SimTime::ZERO,
+            spec: spec.clone(),
+            voltage: self.chip.voltage(),
+            pmd_steps: spec
+                .all_pmds()
+                .map(|p| self.chip.pmd_freq_step(p).unwrap_or(FreqStep::MAX))
+                .collect(),
+            governor: self.governor,
+            processes: self.procs.iter().map(Proc::view).collect(),
+        }
+    }
+
+    fn busy_cores(&self) -> CoreSet {
+        self.procs
+            .iter()
+            .filter(|p| p.state == ProcessState::Running)
+            .fold(CoreSet::EMPTY, |acc, p| acc.union(p.assigned))
+    }
+
+    fn fail(&mut self, what: &str) {
+        self.report
+            .violations
+            .push(format!("seed {}: {what}", self.seed));
+    }
+
+    /// The shared-state invariants, evaluated at an interleaving point.
+    fn check_invariants(&mut self, at: &str) {
+        self.report.checks += 1;
+
+        // Rail within its regulated window.
+        let v = self.chip.voltage();
+        let (floor, nominal) = (self.chip.spec().vreg_floor_mv, self.chip.spec().nominal_mv);
+        if v.as_mv() < floor || v.as_mv() > nominal {
+            let msg = format!("{at}: rail {v} outside [{floor}mV, {nominal}mV]");
+            self.fail(&msg);
+        }
+
+        // No torn V/F pair: the rail covers the safe Vmin of what is
+        // running right now at the frequency program right now.
+        let busy = self.busy_cores();
+        if !self.chip.is_voltage_safe_for(busy) {
+            let msg = format!(
+                "{at}: torn V/F state — {v} below safe Vmin {} for busy cores {busy}",
+                self.chip.current_safe_vmin(busy)
+            );
+            self.fail(&msg);
+        }
+
+        // No mid-migration mask: running masks are thread-sized and
+        // pairwise disjoint.
+        let mut seen = CoreSet::EMPTY;
+        let mut mask_faults = Vec::new();
+        for p in self
+            .procs
+            .iter()
+            .filter(|p| p.state == ProcessState::Running)
+        {
+            if p.assigned.len() != p.threads {
+                mask_faults.push(format!(
+                    "{at}: {} holds {} cores for {} threads",
+                    p.pid,
+                    p.assigned.len(),
+                    p.threads
+                ));
+            }
+            if !seen.intersection(p.assigned).is_empty() {
+                mask_faults.push(format!(
+                    "{at}: {} mask {} overlaps another process",
+                    p.pid, p.assigned
+                ));
+            }
+            seen = seen.union(p.assigned);
+        }
+        for msg in mask_faults {
+            self.fail(&msg);
+        }
+    }
+
+    /// Applies one atomic action — one mailbox/CPPC/affinity write.
+    fn apply(&mut self, action: Action) {
+        self.report.actions += 1;
+        match action {
+            Action::SetVoltage(mv) => {
+                if let Err(e) = self.chip.set_voltage(mv) {
+                    let msg = format!("daemon requested an unprogrammable voltage: {e}");
+                    self.fail(&msg);
+                }
+            }
+            Action::SetPmdStep(pmd, step) => {
+                if self.governor == GovernorMode::Userspace {
+                    if let Err(e) = self.chip.set_pmd_freq_step(pmd, step) {
+                        let msg = format!("daemon requested an invalid step: {e}");
+                        self.fail(&msg);
+                    }
+                }
+            }
+            Action::PinProcess(pid, cores) => {
+                if let Some(p) = self.procs.iter_mut().find(|p| p.pid == pid) {
+                    p.assigned = cores;
+                    p.state = ProcessState::Running;
+                }
+            }
+            Action::SetGovernor(mode) => self.governor = mode,
+        }
+    }
+
+    /// Delivers one event to the daemon and applies its plan one atomic
+    /// action at a time, re-checking the invariants at every boundary —
+    /// each boundary is a point a concurrent monitor sample can observe.
+    fn deliver(&mut self, daemon: &mut Daemon, event: SysEvent) {
+        self.report.events += 1;
+        let view = self.view();
+        let actions = daemon.on_event(&view, &event);
+        self.check_invariants("before plan");
+        for (i, action) in actions.into_iter().enumerate() {
+            self.apply(action);
+            let at = format!("{event:?} action {i}");
+            self.check_invariants(&at);
+        }
+    }
+}
+
+/// Runs one seeded schedule; returns its report.
+fn run_schedule(seed: u64, events_per_schedule: usize) -> RaceReport {
+    let mut rng = Splitmix(seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+    let mut harness = Harness::new(seed);
+    let mut daemon = Daemon::optimal(&harness.chip);
+    let mut next_pid = 1u64;
+
+    // Initialization event (governor switch + idle settle).
+    harness.deliver(&mut daemon, SysEvent::MonitorTick);
+
+    for _ in 0..events_per_schedule {
+        // Build the set of events that could fire now, then let the seed
+        // pick which one wins the race to the daemon's queue.
+        let live: Vec<(Pid, IntensityClass)> =
+            harness.procs.iter().map(|p| (p.pid, p.class)).collect();
+        let total_threads: usize = harness.procs.iter().map(|p| p.threads).sum();
+        let capacity = harness.chip.spec().cores as usize;
+
+        let mut choices: Vec<u8> = vec![0]; // 0 = monitor tick, always possible
+        if total_threads < capacity {
+            choices.push(1); // arrival
+        }
+        if !live.is_empty() {
+            choices.push(2); // finish
+            choices.push(3); // re-classification
+        }
+        let choice = choices[rng.below(choices.len() as u64) as usize];
+        match choice {
+            1 => {
+                let threads = 1 + rng.below(4.min((capacity - total_threads) as u64)) as usize;
+                let class = if rng.below(2) == 0 {
+                    IntensityClass::CpuIntensive
+                } else {
+                    IntensityClass::MemoryIntensive
+                };
+                let pid = Pid(next_pid);
+                next_pid += 1;
+                harness.procs.push(Proc {
+                    pid,
+                    threads,
+                    state: ProcessState::Waiting,
+                    assigned: CoreSet::EMPTY,
+                    class,
+                });
+                harness.deliver(&mut daemon, SysEvent::ProcessArrived(pid));
+            }
+            2 => {
+                let (pid, _) = live[rng.below(live.len() as u64) as usize];
+                harness.procs.retain(|p| p.pid != pid);
+                harness.deliver(&mut daemon, SysEvent::ProcessFinished(pid));
+            }
+            3 => {
+                let (pid, class) = live[rng.below(live.len() as u64) as usize];
+                let flipped = match class {
+                    IntensityClass::CpuIntensive => IntensityClass::MemoryIntensive,
+                    IntensityClass::MemoryIntensive => IntensityClass::CpuIntensive,
+                };
+                if let Some(p) = harness.procs.iter_mut().find(|p| p.pid == pid) {
+                    p.class = flipped;
+                }
+                harness.deliver(&mut daemon, SysEvent::ClassChanged(pid, flipped));
+            }
+            _ => harness.deliver(&mut daemon, SysEvent::MonitorTick),
+        }
+    }
+    harness.report
+}
+
+/// Explores `schedules` seeded schedules of `events_per_schedule` events
+/// each, starting at `base_seed`.
+pub fn explore(schedules: usize, events_per_schedule: usize, base_seed: u64) -> RaceReport {
+    let mut total = RaceReport::default();
+    for i in 0..schedules {
+        let r = run_schedule(base_seed.wrapping_add(i as u64), events_per_schedule);
+        total.schedules += 1;
+        total.events += r.events;
+        total.actions += r.actions;
+        total.checks += r.checks;
+        total.violations.extend(r.violations);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exploration_is_deterministic_in_the_seed() {
+        let a = explore(4, 12, 7);
+        let b = explore(4, 12, 7);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.actions, b.actions);
+        assert_eq!(a.checks, b.checks);
+        assert_eq!(a.violations, b.violations);
+    }
+
+    #[test]
+    fn fail_safe_daemon_survives_many_schedules() {
+        let report = explore(16, 20, 1);
+        assert!(report.is_clean(), "violations: {:#?}", report.violations);
+        assert!(report.checks > 0);
+    }
+
+    #[test]
+    fn checks_interleave_every_action() {
+        let report = explore(2, 10, 3);
+        // One check before each plan plus one per action.
+        assert!(report.checks >= report.actions);
+    }
+}

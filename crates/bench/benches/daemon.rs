@@ -8,13 +8,13 @@ use avfs_chip::presets;
 use avfs_chip::topology::{CoreId, CoreSet};
 use avfs_core::configs::EvalConfig;
 use avfs_core::daemon::Daemon;
+use avfs_experiments::server_eval::{evaluate, table3_4};
+use avfs_experiments::{Machine, Scale};
 use avfs_sched::driver::{Driver, ProcessView, SysEvent, SystemView};
 use avfs_sched::governor::GovernorMode;
 use avfs_sched::process::{Pid, ProcessState};
 use avfs_sched::system::{System, SystemConfig};
 use avfs_sim::time::SimTime;
-use avfs_experiments::server_eval::{evaluate, table3_4};
-use avfs_experiments::{Machine, Scale};
 use avfs_workloads::classify::IntensityClass;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -103,9 +103,7 @@ fn bench_daemon_replan(c: &mut Criterion) {
         let mut daemon = Daemon::optimal(&chip);
         // Initialize once.
         let _ = daemon.on_event(&view, &SysEvent::MonitorTick);
-        b.iter(|| {
-            black_box(daemon.on_event(&view, &SysEvent::ProcessFinished(Pid(999))))
-        })
+        b.iter(|| black_box(daemon.on_event(&view, &SysEvent::ProcessFinished(Pid(999)))))
     });
 }
 

@@ -262,7 +262,8 @@ mod tests {
     #[test]
     fn per_pmd_frequency_is_independent() {
         let mut chip = presets::xgene3().build();
-        chip.set_pmd_freq_step(PmdId::new(3), FreqStep::HALF).unwrap();
+        chip.set_pmd_freq_step(PmdId::new(3), FreqStep::HALF)
+            .unwrap();
         assert_eq!(chip.pmd_frequency(PmdId::new(3)).unwrap().as_mhz(), 1500);
         assert_eq!(chip.pmd_frequency(PmdId::new(4)).unwrap().as_mhz(), 3000);
     }

@@ -82,6 +82,21 @@ impl FreqStep {
         }
     }
 
+    /// Creates a step, clamping out-of-range requests into `1..=8`.
+    ///
+    /// For call sites whose argument is a constant or already validated,
+    /// where a `Result` would only invite `expect` (see `avfs-analyze`'s
+    /// lint pass).
+    pub const fn new_clamped(step: u8) -> Self {
+        if step < 1 {
+            FreqStep(1)
+        } else if step > 8 {
+            FreqStep(8)
+        } else {
+            FreqStep(step)
+        }
+    }
+
     /// The raw numerator (denominator is always 8).
     pub const fn numerator(self) -> u8 {
         self.0
@@ -104,12 +119,22 @@ impl FreqStep {
 
     /// The next step up, saturating at [`FreqStep::MAX`].
     pub fn step_up(self) -> FreqStep {
-        FreqStep((self.0 + 1).min(8))
+        let next = FreqStep((self.0 + 1).min(8));
+        debug_assert!(
+            (1..=8).contains(&next.0),
+            "step_up left the valid range: {next}"
+        );
+        next
     }
 
     /// The next step down, saturating at [`FreqStep::MIN`].
     pub fn step_down(self) -> FreqStep {
-        FreqStep((self.0 - 1).max(1))
+        let next = FreqStep((self.0 - 1).max(1));
+        debug_assert!(
+            (1..=8).contains(&next.0),
+            "step_down left the valid range: {next}"
+        );
+        next
     }
 
     /// The step nearest to `target_mhz` for a chip with the given fmax,
@@ -210,15 +235,20 @@ mod tests {
     }
 
     #[test]
+    fn new_clamped_saturates_at_the_bounds() {
+        assert_eq!(FreqStep::new_clamped(0), FreqStep::MIN);
+        assert_eq!(FreqStep::new_clamped(3).numerator(), 3);
+        assert_eq!(FreqStep::new_clamped(8), FreqStep::MAX);
+        assert_eq!(FreqStep::new_clamped(200), FreqStep::MAX);
+    }
+
+    #[test]
     fn step_frequencies_on_xgene2() {
         // fmax = 2400: steps are multiples of 300 MHz, as in the paper.
         let freqs: Vec<u32> = FreqStep::all()
             .map(|s| s.frequency(2400).as_mhz())
             .collect();
-        assert_eq!(
-            freqs,
-            vec![300, 600, 900, 1200, 1500, 1800, 2100, 2400]
-        );
+        assert_eq!(freqs, vec![300, 600, 900, 1200, 1500, 1800, 2100, 2400]);
     }
 
     #[test]

@@ -110,7 +110,8 @@ impl PowerModel {
             dyn_w += idle_cores * self.k_idle_core_w_per_ghz * f_ghz;
         }
 
-        let uncore_w = self.uncore_static_w + self.uncore_dyn_w * inputs.mem_traffic.clamp(0.0, 1.0);
+        let uncore_w =
+            self.uncore_static_w + self.uncore_dyn_w * inputs.mem_traffic.clamp(0.0, 1.0);
 
         dyn_w * vr2 + uncore_w * vr2 + self.leak_w * vr3
     }

@@ -310,17 +310,17 @@ mod tests {
     #[test]
     fn power_operating_points_are_plausible() {
         let x2 = xgene2().build();
-        let p2_full =
-            x2.power_model()
-                .full_load_power_w(Millivolts::new(980), 4, 2400, 1.0, 0.5);
+        let p2_full = x2
+            .power_model()
+            .full_load_power_w(Millivolts::new(980), 4, 2400, 1.0, 0.5);
         assert!(p2_full < 35.0 && p2_full > 20.0, "XG2 full load {p2_full}W");
         let p2_idle = x2.power_model().idle_power_w(Millivolts::new(980), 4);
         assert!(p2_idle < 6.0, "XG2 idle {p2_idle}W");
 
         let x3 = xgene3().build();
-        let p3_full =
-            x3.power_model()
-                .full_load_power_w(Millivolts::new(870), 16, 3000, 1.0, 0.5);
+        let p3_full = x3
+            .power_model()
+            .full_load_power_w(Millivolts::new(870), 16, 3000, 1.0, 0.5);
         assert!(
             p3_full < 125.0 && p3_full > 80.0,
             "XG3 full load {p3_full}W"
@@ -336,10 +336,18 @@ mod tests {
         let chip_a = a.build();
         let chip_b = b.build();
         let offs_a: Vec<i32> = (0..16)
-            .map(|i| chip_a.vmin_model().pmd_offset_mv(crate::topology::PmdId::new(i)))
+            .map(|i| {
+                chip_a
+                    .vmin_model()
+                    .pmd_offset_mv(crate::topology::PmdId::new(i))
+            })
             .collect();
         let offs_b: Vec<i32> = (0..16)
-            .map(|i| chip_b.vmin_model().pmd_offset_mv(crate::topology::PmdId::new(i)))
+            .map(|i| {
+                chip_b
+                    .vmin_model()
+                    .pmd_offset_mv(crate::topology::PmdId::new(i))
+            })
             .collect();
         assert_ne!(offs_a, offs_b);
         // FinFET span bound: ±10 mV.

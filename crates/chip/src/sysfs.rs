@@ -97,9 +97,7 @@ pub fn read(chip: &Chip, path: &str) -> Result<String, SysfsError> {
                     Ok(khz.to_string())
                 }
                 "cpuinfo_max_freq" => Ok((chip.spec().fmax_mhz as u64 * 1_000).to_string()),
-                "cpuinfo_min_freq" => {
-                    Ok((chip.spec().fmax_mhz as u64 / 8 * 1_000).to_string())
-                }
+                "cpuinfo_min_freq" => Ok((chip.spec().fmax_mhz as u64 / 8 * 1_000).to_string()),
                 "scaling_setspeed" => Err(SysfsError::PermissionDenied(path.to_string())),
                 _ => Err(SysfsError::NoSuchFile(path.to_string())),
             }

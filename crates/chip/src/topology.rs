@@ -264,7 +264,9 @@ impl CoreSet {
 
     /// Iterates over member cores in ascending index order.
     pub fn iter(self) -> impl Iterator<Item = CoreId> {
-        (0..64u16).filter(move |i| self.0 & (1u64 << i) != 0).map(CoreId)
+        (0..64u16)
+            .filter(move |i| self.0 & (1u64 << i) != 0)
+            .map(CoreId)
     }
 
     /// The lowest-numbered core in the set, if any.
@@ -281,11 +283,7 @@ impl CoreSet {
     pub fn utilized_pmds(self, spec: &ChipSpec) -> Vec<PmdId> {
         let mut pmds = Vec::new();
         for pmd in spec.all_pmds() {
-            if spec
-                .cores_of(pmd)
-                .iter()
-                .any(|&c| self.contains(c))
-            {
+            if spec.cores_of(pmd).iter().any(|&c| self.contains(c)) {
                 pmds.push(pmd);
             }
         }

@@ -139,6 +139,13 @@ impl VoltageRail {
             return Err((self.floor, self.nominal));
         }
         self.current = mv;
+        debug_assert!(
+            self.current >= self.floor && self.current <= self.nominal,
+            "rail left its regulated window: {} outside [{}, {}]",
+            self.current,
+            self.floor,
+            self.nominal
+        );
         Ok(())
     }
 

@@ -21,11 +21,17 @@ fn main() {
             let m = sys.run(&trace, driver.as_mut());
             let (es, tp, ed) = match &base {
                 None => (0.0, 0.0, 0.0),
-                Some(b) => (m.energy_savings_vs(b)*100.0, m.time_penalty_vs(b)*100.0, m.ed2p_savings_vs(b)*100.0),
+                Some(b) => (
+                    m.energy_savings_vs(b) * 100.0,
+                    m.time_penalty_vs(b) * 100.0,
+                    m.ed2p_savings_vs(b) * 100.0,
+                ),
             };
             println!("{:10} time {:7.1}s  avgP {:6.2}W  E {:9.0}J  savings {:5.1}%  tpen {:5.2}%  ed2p-sav {:5.1}%  unsafe {:.3}s rej {}",
                 cfg.label(), m.makespan.as_secs_f64(), m.avg_power_w, m.energy_j, es, tp, ed, m.unsafe_time_s, sys.rejected_actions());
-            if base.is_none() { base = Some(m); }
+            if base.is_none() {
+                base = Some(m);
+            }
         }
     }
 }

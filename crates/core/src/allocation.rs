@@ -61,7 +61,10 @@ pub struct Layout {
 impl Layout {
     /// Number of PMDs with at least one assigned thread.
     pub fn utilized_pmds(&self) -> usize {
-        self.pmd_roles.iter().filter(|r| **r != PmdRole::Idle).count()
+        self.pmd_roles
+            .iter()
+            .filter(|r| **r != PmdRole::Idle)
+            .count()
     }
 
     /// Total placed threads.
@@ -92,13 +95,16 @@ pub fn plan_layout(spec: &ChipSpec, procs: &[PlanProc]) -> Layout {
     let mut unplaced = Vec::new();
 
     // --- Pass 1: CPU-intensive, clustered bottom-up. ---
-    for p in procs.iter().filter(|p| p.class == IntensityClass::CpuIntensive) {
+    for p in procs
+        .iter()
+        .filter(|p| p.class == IntensityClass::CpuIntensive)
+    {
         let mut chosen = CoreSet::EMPTY;
         // Fill partially-used CPU PMDs first, then fresh PMDs bottom-up.
         'outer: for preferred_partial in [true, false] {
             for pmd_idx in 0..pmds {
                 let pmd = PmdId::new(pmd_idx as u16);
-                if roles[pmd_idx] == PmdRole::Mem {
+                if roles.get(pmd_idx) == Some(&PmdRole::Mem) {
                     continue;
                 }
                 let cores = spec.cores_of(pmd);
@@ -132,7 +138,10 @@ pub fn plan_layout(spec: &ChipSpec, procs: &[PlanProc]) -> Layout {
     }
 
     // --- Pass 2: memory-intensive, spreaded top-down. ---
-    for p in procs.iter().filter(|p| p.class == IntensityClass::MemoryIntensive) {
+    for p in procs
+        .iter()
+        .filter(|p| p.class == IntensityClass::MemoryIntensive)
+    {
         let mut chosen = CoreSet::EMPTY;
         // First sweep: one core per PMD with no threads yet (exclusive L2),
         // from the top of the chip. Second sweep: PMDs where only mem
@@ -183,10 +192,48 @@ pub fn plan_layout(spec: &ChipSpec, procs: &[PlanProc]) -> Layout {
         }
     }
 
-    Layout {
+    let layout = Layout {
         assignment,
         pmd_roles: roles,
         unplaced,
+    };
+    debug_assert_layout(spec, procs, &layout);
+    layout
+}
+
+/// Structural invariants every layout must satisfy; checked at the end of
+/// [`plan_layout`] in debug builds and re-verified exhaustively by the
+/// `avfs-analyze` invariant registry and race harness.
+fn debug_assert_layout(spec: &ChipSpec, procs: &[PlanProc], layout: &Layout) {
+    if cfg!(debug_assertions) {
+        let mut seen = CoreSet::EMPTY;
+        for (pid, cores) in &layout.assignment {
+            debug_assert!(
+                seen.intersection(*cores).is_empty(),
+                "{pid} assignment {cores} overlaps another process"
+            );
+            debug_assert!(
+                cores.iter().all(|c| spec.contains_core(c)),
+                "{pid} assignment {cores} leaves the chip"
+            );
+            seen = seen.union(*cores);
+        }
+        for (pid, cores) in &layout.assignment {
+            let threads = procs.iter().find(|p| p.pid == *pid).map(|p| p.threads);
+            debug_assert!(
+                threads == Some(cores.len()),
+                "{pid} holds {} cores for {threads:?} threads",
+                cores.len()
+            );
+        }
+        for pmd in spec.all_pmds() {
+            let busy = spec.cores_of(pmd).iter().any(|&c| seen.contains(c));
+            debug_assert!(
+                busy != (layout.pmd_roles[pmd.index()] == PmdRole::Idle),
+                "{pmd} role {:?} disagrees with its occupancy",
+                layout.pmd_roles[pmd.index()]
+            );
+        }
     }
 }
 
@@ -272,7 +319,7 @@ mod tests {
     #[test]
     fn mem_threads_double_up_only_when_chip_is_tight() {
         let spec = spec8(); // 4 PMDs
-        // 6 memory threads on 4 PMDs: 4 exclusive + 2 doubled.
+                            // 6 memory threads on 4 PMDs: 4 exclusive + 2 doubled.
         let layout = plan_layout(&spec, &[mem(1, 6)]);
         assert!(layout.unplaced.is_empty());
         assert_eq!(layout.utilized_pmds(), 4);

@@ -111,7 +111,7 @@ impl Daemon {
     /// buys a Vmin class (3/8 under clock division, otherwise 4/8).
     pub fn mem_step_for(chip: &Chip) -> FreqStep {
         match chip.behavior() {
-            CppcBehavior::DivisionBelowHalf => FreqStep::new(3).expect("3 is valid"),
+            CppcBehavior::DivisionBelowHalf => FreqStep::new_clamped(3),
             // NoBenefitBelowHalf and any future firmware behaviour: going
             // below half speed buys no voltage, so stop at half.
             _ => FreqStep::HALF,
@@ -508,7 +508,9 @@ mod tests {
     }
 
     fn cores(ids: &[u16]) -> CoreSet {
-        ids.iter().map(|&i| avfs_chip::topology::CoreId::new(i)).collect()
+        ids.iter()
+            .map(|&i| avfs_chip::topology::CoreId::new(i))
+            .collect()
     }
 
     #[test]
@@ -592,7 +594,10 @@ mod tests {
                 running(2, cores(&[30]), IntensityClass::MemoryIntensive),
             ],
         );
-        let acts = d.on_event(&view, &SysEvent::ClassChanged(Pid(2), IntensityClass::MemoryIntensive));
+        let acts = d.on_event(
+            &view,
+            &SysEvent::ClassChanged(Pid(2), IntensityClass::MemoryIntensive),
+        );
         // PMD15 (core 30) must be programmed to the mem step (HALF on XG3).
         assert!(
             acts.iter().any(|a| matches!(
@@ -630,9 +635,7 @@ mod tests {
             s[0] = FreqStep::MAX;
             s
         };
-        view.voltage = d
-            .table
-            .safe_voltage_for_pmds(FreqVminClass::Max, 1, 2);
+        view.voltage = d.table.safe_voltage_for_pmds(FreqVminClass::Max, 1, 2);
         let acts = d.on_event(&view, &SysEvent::MonitorTick);
         assert!(acts.is_empty(), "unexpected actions: {acts:?}");
     }
@@ -654,8 +657,7 @@ mod tests {
         );
         let acts = d.on_event(&view, &SysEvent::ProcessArrived(Pid(2)));
         // Replay the pins over an occupancy map and check validity.
-        let mut occupancy: BTreeMap<Pid, CoreSet> =
-            [(Pid(1), cores(&[0]))].into_iter().collect();
+        let mut occupancy: BTreeMap<Pid, CoreSet> = [(Pid(1), cores(&[0]))].into_iter().collect();
         for a in &acts {
             if let Action::PinProcess(pid, cs) = a {
                 let others = occupancy

@@ -81,9 +81,7 @@ impl PolicyTable {
                 // small chips some classes are unachievable (a 4-PMD
                 // X-Gene 2 never lands in D25 with ≥1 PMD busy); those
                 // entries are filled from the neighbouring class below.
-                let utilized = (1..=pmds)
-                    .filter(|&u| DroopClass::from_utilized_pmds(spec, u) == dc)
-                    .next_back();
+                let utilized = (1..=pmds).rfind(|&u| DroopClass::from_utilized_pmds(spec, u) == dc);
                 // The fewest threads that can utilize this many PMDs —
                 // combinations below that are physically impossible, so
                 // margins need not cover them.
@@ -91,10 +89,10 @@ impl PolicyTable {
                     .filter(|&u| DroopClass::from_utilized_pmds(spec, u) == dc)
                     .min()
                     .unwrap_or(1);
-                for bucket in 0..4 {
-                    let Some(utilized) = utilized else {
-                        continue;
-                    };
+                let Some(utilized) = utilized else {
+                    continue;
+                };
+                for (bucket, cell) in vmin_mv[freq_row(fc)][dc.index()].iter_mut().enumerate() {
                     let threads = bucket_rep_threads(bucket).max(min_threads);
                     let q = VminQuery {
                         freq_class: fc,
@@ -108,13 +106,15 @@ impl PolicyTable {
                     // model applies.
                     let visibility = model.workload_decay(threads);
                     let static_margin = (worst_pmd_offset as f64 * visibility).ceil() as i32;
-                    vmin_mv[freq_row(fc)][dc.index()][bucket] =
-                        base.offset(static_margin).as_mv();
+                    *cell = base.offset(static_margin).as_mv();
                 }
             }
             // Fill unachievable classes from the class above (safe and
             // monotone), then enforce monotonicity explicitly.
             let row = &mut vmin_mv[freq_row(fc)];
+            // Column-wise fixup across the [droop][bucket] grid; the
+            // coordinates themselves are the point of the traversal.
+            #[allow(clippy::needless_range_loop)]
             for bucket in 0..4 {
                 for dc in (0..3).rev() {
                     if row[dc][bucket] == 0 {
@@ -131,6 +131,39 @@ impl PolicyTable {
             nominal_mv: spec.nominal_mv,
             pmds,
         }
+    }
+
+    /// Builds a table from raw cell values, bypassing characterization.
+    ///
+    /// Exists for the `avfs-analyze` invariant checker and its property
+    /// tests, which need to construct deliberately broken tables (holes,
+    /// inversions) and prove the checker flags them; production tables
+    /// should come from [`PolicyTable::from_characterization`].
+    pub fn from_raw(vmin_mv: [[[u32; 4]; 4]; 3], nominal_mv: u32, pmds: usize) -> Self {
+        PolicyTable {
+            vmin_mv,
+            nominal_mv,
+            pmds,
+        }
+    }
+
+    /// Number of thread buckets per (frequency class, droop class) cell.
+    pub const THREAD_BUCKETS: usize = 4;
+
+    /// Raw cell value in millivolts, for exhaustive table audits.
+    ///
+    /// `bucket` indexes the thread buckets (`0..THREAD_BUCKETS`, in the
+    /// same order [`PolicyTable::safe_voltage`] resolves thread counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket >= THREAD_BUCKETS`.
+    pub fn cell(&self, freq_class: FreqVminClass, droop_class: DroopClass, bucket: usize) -> u32 {
+        assert!(
+            bucket < Self::THREAD_BUCKETS,
+            "bucket {bucket} out of range"
+        );
+        self.vmin_mv[freq_row(freq_class)][droop_class.index()][bucket]
     }
 
     /// The characterized safe voltage for a configuration: frequency

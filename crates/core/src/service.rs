@@ -47,7 +47,26 @@ pub struct DaemonService {
 
 impl DaemonService {
     /// Spawns the service around a configured daemon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker thread cannot be created; use
+    /// [`DaemonService::try_spawn`] to handle that case.
     pub fn spawn(daemon: Daemon) -> DaemonService {
+        match Self::try_spawn(daemon) {
+            Ok(service) => service,
+            Err(e) => panic!("failed to spawn the daemon worker thread: {e}"),
+        }
+    }
+
+    /// Spawns the service, surfacing thread-creation failure (resource
+    /// exhaustion) as an error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`std::io::Error`] from the OS if the worker thread
+    /// cannot be created.
+    pub fn try_spawn(daemon: Daemon) -> std::io::Result<DaemonService> {
         let daemon = Arc::new(Mutex::new(daemon));
         let worker_daemon = Arc::clone(&daemon);
         let (tx, rx): (Sender<Request>, Receiver<Request>) = bounded(16);
@@ -66,13 +85,12 @@ impl DaemonService {
                         Request::Shutdown => break,
                     }
                 }
-            })
-            .expect("spawn daemon worker");
-        DaemonService {
+            })?;
+        Ok(DaemonService {
             tx,
             worker: Some(worker),
             daemon,
-        }
+        })
     }
 
     /// A [`Driver`] handle that forwards events to the daemon thread and
@@ -185,7 +203,7 @@ mod tests {
     #[test]
     fn service_reports_stats() {
         let chip = presets::xgene3().build();
-        let mut service = DaemonService::spawn(Daemon::optimal(&chip));
+        let service = DaemonService::spawn(Daemon::optimal(&chip));
         let mut handle = service.handle();
         let mut sys = System::new(
             presets::xgene3().build(),
@@ -219,6 +237,15 @@ mod tests {
         };
         let actions = handle.on_event(&view, &SysEvent::MonitorTick);
         assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn try_spawn_yields_a_working_service() {
+        let chip = presets::xgene2().build();
+        let mut service =
+            DaemonService::try_spawn(Daemon::optimal(&chip)).expect("thread creation");
+        assert_eq!(service.handle().name(), "optimal");
+        service.shutdown();
     }
 
     #[test]

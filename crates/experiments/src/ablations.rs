@@ -93,7 +93,11 @@ pub fn guardband_sweep(machine: Machine, scale: Scale, seed: u64) -> Table {
             machine.name().to_lowercase().replace(' ', "")
         ),
         &format!("Ablation — savings vs guardband width, {machine}"),
-        &["guardband shift (mV)", "optimal energy (J)", "savings vs baseline (%)"],
+        &[
+            "guardband shift (mV)",
+            "optimal energy (J)",
+            "savings vs baseline (%)",
+        ],
     );
     // Baseline on the stock chip.
     let base = {
@@ -135,9 +139,7 @@ pub fn cross_specimen(machine: Machine, scale: Scale, seed: u64) -> Table {
             "ablation-specimen-{}",
             machine.name().to_lowercase().replace(' ', "")
         ),
-        &format!(
-            "Ablation — one policy table deployed across chip specimens, {machine}"
-        ),
+        &format!("Ablation — one policy table deployed across chip specimens, {machine}"),
         &[
             "specimen seed",
             "energy (J)",
@@ -246,7 +248,9 @@ mod tests {
     fn fail_safe_prevents_unsafe_time() {
         let t = fail_safe_ablation(Machine::XGene3, Scale::Quick, 11);
         let safe_unsafe = t.value("raise-before (paper)", "unsafe time (s)").unwrap();
-        let ablated_unsafe = t.value("voltage-last (ablated)", "unsafe time (s)").unwrap();
+        let ablated_unsafe = t
+            .value("voltage-last (ablated)", "unsafe time (s)")
+            .unwrap();
         assert_eq!(safe_unsafe, 0.0);
         assert!(ablated_unsafe > 0.0, "ablation produced no unsafe time");
     }
@@ -258,7 +262,10 @@ mod tests {
         // Shifting Vmin down (more headroom) increases savings;
         // monotone across the sweep.
         for w in col.windows(2) {
-            assert!(w[1] <= w[0] + 0.5, "savings should fall as Vmin rises: {col:?}");
+            assert!(
+                w[1] <= w[0] + 0.5,
+                "savings should fall as Vmin rises: {col:?}"
+            );
         }
         assert!(col.first().unwrap() > col.last().unwrap());
     }

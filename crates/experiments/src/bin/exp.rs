@@ -49,9 +49,12 @@ fn parse_args() -> Result<Options, String> {
                 let seed = args.next().ok_or("--seed needs a value")?;
                 opts.seed = seed.parse().map_err(|e| format!("bad seed: {e}"))?;
             }
-            "all" => opts
-                .ids
-                .extend(ALL_IDS.iter().map(|s| s.to_string()).chain(["ablations".into()])),
+            "all" => opts.ids.extend(
+                ALL_IDS
+                    .iter()
+                    .map(|s| s.to_string())
+                    .chain(["ablations".into()]),
+            ),
             "--help" | "-h" => {
                 println!(
                     "usage: exp [--quick] [--csv DIR] [--seed N] <id>...\n  ids: {} ablations all",

@@ -144,10 +144,7 @@ pub fn fig3(machine: Machine, scale: Scale) -> Table {
     let mut headers = vec!["benchmark".to_string()];
     headers.extend(configs.iter().map(|c| c.label(chip.spec())));
     let mut table = Table {
-        id: format!(
-            "fig03-{}",
-            machine.name().to_lowercase().replace(' ', "")
-        ),
+        id: format!("fig03-{}", machine.name().to_lowercase().replace(' ', "")),
         title: format!("Figure 3 — safe Vmin (mV), {machine}"),
         headers,
         rows: Vec::new(),
@@ -186,17 +183,14 @@ pub fn fig4(scale: Scale) -> Table {
         .all_cores()
         .map(|c| (format!("core{}", c.index()), spec.pmd_of(c), 1usize))
         .collect();
-    cases.extend(
-        spec.all_pmds()
-            .map(|p| {
-                let cs = spec.cores_of(p);
-                (
-                    format!("cores{},{}", cs[0].index(), cs[1].index()),
-                    p,
-                    2usize,
-                )
-            }),
-    );
+    cases.extend(spec.all_pmds().map(|p| {
+        let cs = spec.cores_of(p);
+        (
+            format!("cores{},{}", cs[0].index(), cs[1].index()),
+            p,
+            2usize,
+        )
+    }));
     for (label, pmd, threads) in cases {
         let mut lo = u32::MAX;
         let mut hi = 0u32;
@@ -313,10 +307,7 @@ pub fn fig5(machine: Machine, scale: Scale) -> Table {
     let mut headers = vec!["voltage (mV)".to_string()];
     headers.extend(configs.iter().map(|c| c.label(chip.spec())));
     let mut table = Table {
-        id: format!(
-            "fig05-{}",
-            machine.name().to_lowercase().replace(' ', "")
-        ),
+        id: format!("fig05-{}", machine.name().to_lowercase().replace(' ', "")),
         title: format!("Figure 5 — probability of failure vs voltage, {machine}"),
         headers,
         rows: Vec::new(),

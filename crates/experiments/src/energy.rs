@@ -143,10 +143,18 @@ pub fn fig7() -> Table {
                 alloc,
                 step: FreqStep::MAX,
             };
-            let clustered =
-                steady_run(Machine::XGene2, bench, &mk(ThreadAlloc::Clustered), VoltageMode::Nominal);
-            let spreaded =
-                steady_run(Machine::XGene2, bench, &mk(ThreadAlloc::Spreaded), VoltageMode::Nominal);
+            let clustered = steady_run(
+                Machine::XGene2,
+                bench,
+                &mk(ThreadAlloc::Clustered),
+                VoltageMode::Nominal,
+            );
+            let spreaded = steady_run(
+                Machine::XGene2,
+                bench,
+                &mk(ThreadAlloc::Spreaded),
+                VoltageMode::Nominal,
+            );
             (bench, clustered.energy_j, spreaded.energy_j)
         })
         .collect();
@@ -210,7 +218,11 @@ fn fig11_12_table(machine: Machine, ed2p: bool) -> Table {
     let configs = fig11_configs(machine);
     let mut headers = vec!["benchmark".to_string()];
     headers.extend(configs.iter().map(|c| c.label(chip.spec())));
-    let (metric, fig) = if ed2p { ("ED2P (J·s²)", 12) } else { ("energy (J)", 11) };
+    let (metric, fig) = if ed2p {
+        ("ED2P (J·s²)", 12)
+    } else {
+        ("energy (J)", 11)
+    };
     let mut table = Table {
         id: format!(
             "fig{fig}-{}",
@@ -336,8 +348,18 @@ mod tests {
             step: FreqStep::new(3).unwrap(),
             ..config_max
         };
-        let at_max = steady_run(Machine::XGene2, Benchmark::NpbLu, &config_max, VoltageMode::SafeVmin);
-        let at_div = steady_run(Machine::XGene2, Benchmark::NpbLu, &config_div, VoltageMode::SafeVmin);
+        let at_max = steady_run(
+            Machine::XGene2,
+            Benchmark::NpbLu,
+            &config_max,
+            VoltageMode::SafeVmin,
+        );
+        let at_div = steady_run(
+            Machine::XGene2,
+            Benchmark::NpbLu,
+            &config_div,
+            VoltageMode::SafeVmin,
+        );
         assert!(at_div.voltage < at_max.voltage);
         assert!(at_max.voltage < Millivolts::new(980));
     }
@@ -352,12 +374,19 @@ mod tests {
             alloc: ThreadAlloc::Spreaded,
             step: FreqStep::MAX,
         };
-        let c4 = CharConfig {
-            threads: 4,
-            ..c2
-        };
-        let p2 = steady_run(Machine::XGene3, Benchmark::SpecGamess, &c2, VoltageMode::Nominal);
-        let p4 = steady_run(Machine::XGene3, Benchmark::SpecGamess, &c4, VoltageMode::Nominal);
+        let c4 = CharConfig { threads: 4, ..c2 };
+        let p2 = steady_run(
+            Machine::XGene3,
+            Benchmark::SpecGamess,
+            &c2,
+            VoltageMode::Nominal,
+        );
+        let p4 = steady_run(
+            Machine::XGene3,
+            Benchmark::SpecGamess,
+            &c4,
+            VoltageMode::Nominal,
+        );
         assert!(p4.power_w > p2.power_w * 1.3);
         assert!(p4.energy_j < p2.energy_j * 1.5);
     }

@@ -96,7 +96,10 @@ mod tests {
     fn xgene2_percentages_match_figure10() {
         let t = fig10(Machine::XGene2);
         let division = t
-            .value("clock division (total below half speed)", "Vmin reduction (%)")
+            .value(
+                "clock division (total below half speed)",
+                "Vmin reduction (%)",
+            )
             .unwrap();
         let skip = t
             .value("frequency (one clock-skipping step)", "Vmin reduction (%)")
@@ -123,7 +126,10 @@ mod tests {
         // equals the skipping step.
         let t = fig10(Machine::XGene3);
         let division = t
-            .value("clock division (total below half speed)", "Vmin reduction (%)")
+            .value(
+                "clock division (total below half speed)",
+                "Vmin reduction (%)",
+            )
             .unwrap();
         let skip = t
             .value("frequency (one clock-skipping step)", "Vmin reduction (%)")

@@ -23,6 +23,7 @@ pub mod characterization;
 pub mod droops;
 pub mod energy;
 pub mod factors;
+mod json;
 pub mod perfchar;
 pub mod report;
 pub mod server_eval;

@@ -13,9 +13,7 @@ pub fn fig8(machine: Machine, _scale: Scale) -> Table {
     let copies = chip.spec().cores as usize;
     let mut table = Table {
         id: format!("fig08-{}", machine.name().to_lowercase().replace(' ', "")),
-        title: format!(
-            "Figure 8 — relative performance (solo time / contended time), {machine}"
-        ),
+        title: format!("Figure 8 — relative performance (solo time / contended time), {machine}"),
         headers: vec![
             "benchmark".into(),
             "ratio".into(),
@@ -82,7 +80,8 @@ pub fn fig9(machine: Machine, _scale: Scale) -> Table {
             // Aggregate pressure of `threads` copies/threads of the same
             // program at max frequency.
             let pressure = perf.pressure_of(&profile) * threads as f64;
-            let mult = perf.mem_contention_mult(pressure) * perf.l2_share_mult(Some(profile.mem_fraction));
+            let mult =
+                perf.mem_contention_mult(pressure) * perf.l2_share_mult(Some(profile.mem_fraction));
             let rate = perf.observed_l3c_rate(&profile, mult);
             final_class = classify(rate);
             row.push(Cell::f(rate, 0));

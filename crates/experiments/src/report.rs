@@ -1,7 +1,10 @@
 //! Result tables: the common output format of every experiment harness.
 
+use crate::json::{self, Json};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+pub use crate::json::JsonError;
 use std::io::Write as _;
 use std::path::Path;
 
@@ -34,6 +37,56 @@ impl Cell {
             Cell::Int(v) => Some(*v as f64),
             Cell::Float { value, .. } => Some(*value),
         }
+    }
+
+    /// Appends this cell's externally-tagged JSON form to `out`.
+    fn json_into(&self, out: &mut String) {
+        match self {
+            Cell::Text(s) => {
+                out.push_str("{ \"Text\": ");
+                json::escape_into(out, s);
+                out.push_str(" }");
+            }
+            Cell::Int(v) => {
+                out.push_str(&format!("{{ \"Int\": {v} }}"));
+            }
+            Cell::Float { value, precision } => {
+                out.push_str("{ \"Float\": { \"value\": ");
+                if value.is_finite() {
+                    out.push_str(&format!("{value}"));
+                } else {
+                    out.push_str("null");
+                }
+                out.push_str(&format!(", \"precision\": {precision} }} }}"));
+            }
+        }
+    }
+
+    /// Reads a cell back from its externally-tagged JSON form.
+    fn from_json_value(v: &Json) -> Result<Cell, JsonError> {
+        let shape_err = || JsonError {
+            msg: "expected a Text/Int/Float cell object".to_string(),
+            offset: 0,
+        };
+        if let Some(s) = v.get("Text").and_then(Json::as_str) {
+            return Ok(Cell::Text(s.to_string()));
+        }
+        if let Some(i) = v.get("Int").and_then(Json::as_i64) {
+            return Ok(Cell::Int(i));
+        }
+        if let Some(f) = v.get("Float") {
+            let value = f
+                .get("value")
+                .and_then(Json::as_f64)
+                .ok_or_else(shape_err)?;
+            let precision = f
+                .get("precision")
+                .and_then(Json::as_i64)
+                .and_then(|p| u8::try_from(p).ok())
+                .ok_or_else(shape_err)?;
+            return Ok(Cell::Float { value, precision });
+        }
+        Err(shape_err())
     }
 }
 
@@ -210,8 +263,32 @@ impl Table {
 
     /// Serializes the table (id, title, headers, typed rows) as
     /// pretty-printed JSON — the machine-readable companion to the CSV.
+    ///
+    /// Cells use serde's externally-tagged enum shape (`{"Int": 3}`,
+    /// `{"Float": {"value": 0.5, "precision": 2}}`), so artifacts
+    /// written by earlier revisions parse identically. Non-finite
+    /// floats, which JSON cannot represent, serialize as `null` values.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("tables are always serializable")
+        let mut out = String::from("{\n  \"id\": ");
+        json::escape_into(&mut out, &self.id);
+        out.push_str(",\n  \"title\": ");
+        json::escape_into(&mut out, &self.title);
+        out.push_str(",\n  \"headers\": [");
+        for (i, h) in self.headers.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            json::escape_into(&mut out, h);
+        }
+        out.push_str("\n  ],\n  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    [" } else { ",\n    [" });
+            for (j, cell) in row.iter().enumerate() {
+                out.push_str(if j == 0 { "\n      " } else { ",\n      " });
+                cell.json_into(&mut out);
+            }
+            out.push_str("\n    ]");
+        }
+        out.push_str("\n  ]\n}");
+        out
     }
 
     /// Writes the JSON rendering to `dir/<id>.json`.
@@ -229,9 +306,54 @@ impl Table {
     ///
     /// # Errors
     ///
-    /// Returns the serde error when the input is not a table.
-    pub fn from_json(json: &str) -> Result<Table, serde_json::Error> {
-        serde_json::from_str(json)
+    /// Returns a [`JsonError`] when the input is not well-formed JSON
+    /// or does not have the table shape.
+    pub fn from_json(input: &str) -> Result<Table, JsonError> {
+        let doc = json::parse(input)?;
+        let field_err = |what: &str| JsonError {
+            msg: format!("table JSON is missing or mistypes `{what}`"),
+            offset: 0,
+        };
+        let id = doc
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or_else(|| field_err("id"))?
+            .to_string();
+        let title = doc
+            .get("title")
+            .and_then(Json::as_str)
+            .ok_or_else(|| field_err("title"))?
+            .to_string();
+        let headers = doc
+            .get("headers")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| field_err("headers"))?
+            .iter()
+            .map(|h| {
+                h.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| field_err("headers"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let rows = doc
+            .get("rows")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| field_err("rows"))?
+            .iter()
+            .map(|row| {
+                row.as_arr()
+                    .ok_or_else(|| field_err("rows"))?
+                    .iter()
+                    .map(Cell::from_json_value)
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Table {
+            id,
+            title,
+            headers,
+            rows,
+        })
     }
 }
 

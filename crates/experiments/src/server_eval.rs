@@ -79,13 +79,7 @@ pub fn table3_4(machine: Machine, scale: Scale, seed: u64) -> (Table, EvalResult
             machine.name().to_lowercase().replace(' ', "")
         ),
         &format!("Table {table_no} — {machine} results for the 4 configurations"),
-        &[
-            "metric",
-            "Baseline",
-            "Safe Vmin",
-            "Placement",
-            "Optimal",
-        ],
+        &["metric", "Baseline", "Safe Vmin", "Placement", "Optimal"],
     );
     let base = results.baseline().clone();
     let row = |name: &str, f: &dyn Fn(&RunMetrics) -> Cell| {
@@ -122,10 +116,7 @@ pub fn fig14(results: &EvalResults, bucket_s: u64) -> Table {
     let base = results.baseline();
     let optimal = results.config("Optimal").expect("optimal run");
     let mut t = Table::new(
-        &format!(
-            "fig14-{}",
-            results.machine.to_lowercase().replace(' ', "")
-        ),
+        &format!("fig14-{}", results.machine.to_lowercase().replace(' ', "")),
         &format!(
             "Figure 14 — average power (W), Baseline vs Optimal, {}",
             results.machine
@@ -156,10 +147,7 @@ pub fn fig14(results: &EvalResults, bucket_s: u64) -> Table {
 pub fn fig15(results: &EvalResults, bucket_s: u64) -> Table {
     let optimal = results.config("Optimal").expect("optimal run");
     let mut t = Table::new(
-        &format!(
-            "fig15-{}",
-            results.machine.to_lowercase().replace(' ', "")
-        ),
+        &format!("fig15-{}", results.machine.to_lowercase().replace(' ', "")),
         &format!(
             "Figure 15 — system load and process classes (Optimal run), {}",
             results.machine
@@ -218,7 +206,11 @@ mod tests {
     fn same_trace_replays_under_all_configs() {
         let results = evaluate(Machine::XGene2, Scale::Quick, 3);
         // Every run completed the same number of jobs.
-        let counts: Vec<usize> = results.runs.iter().map(|(_, m)| m.completed.len()).collect();
+        let counts: Vec<usize> = results
+            .runs
+            .iter()
+            .map(|(_, m)| m.completed.len())
+            .collect();
         assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
         assert!(counts[0] > 5);
     }

@@ -19,7 +19,11 @@ pub fn table1() -> Table {
     let mut row = |name: &str, a: String, b: String| {
         t.push_row(vec![name.into(), a.into(), b.into()]);
     };
-    row("CPU", format!("{} cores", s2.cores), format!("{} cores", s3.cores));
+    row(
+        "CPU",
+        format!("{} cores", s2.cores),
+        format!("{} cores", s3.cores),
+    );
     row(
         "Core clock",
         format!("{:.1} GHz", s2.fmax_mhz as f64 / 1000.0),
@@ -76,9 +80,27 @@ pub fn table2() -> Table {
         ],
     );
     let rows = [
-        (DroopClass::D25, "1, 2 PMDs", "1T, 2T, 4T(clustered)", 2usize, 4usize),
-        (DroopClass::D35, "4 PMDs", "8T(clustered), 4T(spreaded)", 4, 8),
-        (DroopClass::D45, "8 PMDs", "16T(clustered), 8T(spreaded)", 8, 16),
+        (
+            DroopClass::D25,
+            "1, 2 PMDs",
+            "1T, 2T, 4T(clustered)",
+            2usize,
+            4usize,
+        ),
+        (
+            DroopClass::D35,
+            "4 PMDs",
+            "8T(clustered), 4T(spreaded)",
+            4,
+            8,
+        ),
+        (
+            DroopClass::D45,
+            "8 PMDs",
+            "16T(clustered), 8T(spreaded)",
+            8,
+            16,
+        ),
         (DroopClass::D55, "16 PMDs", "32T, 16T(spreaded)", 16, 32),
     ];
     for (class, pmds_label, scaling, pmds, threads) in rows {
@@ -153,11 +175,11 @@ mod tests {
         assert_eq!(row("Core clock"), ("2.4 GHz".into(), "3.0 GHz".into()));
         assert_eq!(row("L3 cache"), ("8MB".into(), "32MB".into()));
         assert_eq!(row("TDP"), ("35 W".into(), "125 W".into()));
+        assert_eq!(row("Nominal voltage"), ("980 mV".into(), "870 mV".into()));
         assert_eq!(
-            row("Nominal voltage"),
-            ("980 mV".into(), "870 mV".into())
+            row("L2 cache"),
+            ("256KB per PMD".into(), "256KB per PMD".into())
         );
-        assert_eq!(row("L2 cache"), ("256KB per PMD".into(), "256KB per PMD".into()));
     }
 
     #[test]

@@ -116,7 +116,8 @@ impl Process {
 
     /// Turnaround time (arrival → completion), if finished.
     pub fn turnaround(&self) -> Option<avfs_sim::time::SimDuration> {
-        self.finished_at.map(|t| t.saturating_since(self.arrived_at))
+        self.finished_at
+            .map(|t| t.saturating_since(self.arrived_at))
     }
 
     /// L3 accesses per 1 M cycles over the whole lifetime so far.

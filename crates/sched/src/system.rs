@@ -386,12 +386,10 @@ impl System {
                     })
                     .map(|f| f.as_mhz() as f64)
                     .unwrap_or(fmax);
-                self.perf
-                    .pressure_at(
-                        &phases::effective_profile(p.bench, p.progress),
-                        (freq / fmax).clamp(1e-6, 1.0),
-                    )
-                    * p.threads as f64
+                self.perf.pressure_at(
+                    &phases::effective_profile(p.bench, p.progress),
+                    (freq / fmax).clamp(1e-6, 1.0),
+                ) * p.threads as f64
             })
             .sum()
     }
@@ -434,11 +432,7 @@ impl System {
             let stalled = p.stalled_until > self.now;
             out.insert(
                 p.pid,
-                (
-                    if stalled { 0.0 } else { worst_rate },
-                    min_freq,
-                    worst_mult,
-                ),
+                (if stalled { 0.0 } else { worst_rate }, min_freq, worst_mult),
             );
         }
         out
@@ -569,10 +563,12 @@ impl System {
             let class = self.chip.vmin_model().droop_class(utilized);
             let mean_act = activity_sum / active_threads as f64;
             chip_cycles_at_fmax = (self.chip.spec().fmax_mhz as f64 * 1e6 * dt) as u64;
-            let counts =
-                self.chip
-                    .droop_model()
-                    .sample(class, mean_act, chip_cycles_at_fmax, &mut self.droop_rng);
+            let counts = self.chip.droop_model().sample(
+                class,
+                mean_act,
+                chip_cycles_at_fmax,
+                &mut self.droop_rng,
+            );
             self.chip.pmu_mut().record_droops(&counts);
         }
         let _ = chip_cycles_at_fmax;
@@ -589,7 +585,9 @@ impl System {
         for p in self.procs.values().filter(|p| p.is_running()) {
             let profile = phases::effective_profile(p.bench, p.progress);
             let (_, freq, mult) = conds.get(&p.pid).copied().unwrap_or((0.0, 0, 1.0));
-            let act = self.perf.effective_activity(&profile, &p.work, freq.max(1), mult);
+            let act = self
+                .perf
+                .effective_activity(&profile, &p.work, freq.max(1), mult);
             for core in p.assigned.iter() {
                 let pmd = spec.pmd_of(core).index();
                 loads[pmd].active_cores += 1;
@@ -792,7 +790,11 @@ impl System {
         metrics.load_trace.push(self.now, running_threads as f64);
         let (mut cpu, mut mem) = (0u32, 0u32);
         for p in self.procs.values().filter(|p| p.is_running()) {
-            match self.monitors.get(&p.pid).and_then(|m| m.classifier.current()) {
+            match self
+                .monitors
+                .get(&p.pid)
+                .and_then(|m| m.classifier.current())
+            {
                 Some(IntensityClass::MemoryIntensive) => mem += 1,
                 Some(IntensityClass::CpuIntensive) | None => cpu += 1,
             }

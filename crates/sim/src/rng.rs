@@ -147,7 +147,10 @@ impl RngStream {
     ///
     /// Panics if `mean` is negative or not finite.
     pub fn poisson(&mut self, mean: f64) -> u64 {
-        assert!(mean.is_finite() && mean >= 0.0, "invalid poisson mean: {mean}");
+        assert!(
+            mean.is_finite() && mean >= 0.0,
+            "invalid poisson mean: {mean}"
+        );
         if mean == 0.0 {
             return 0;
         }

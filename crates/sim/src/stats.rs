@@ -321,11 +321,7 @@ pub fn weighted_mean(pairs: &[(SimDuration, f64)]) -> f64 {
     if total <= 0.0 {
         return 0.0;
     }
-    pairs
-        .iter()
-        .map(|(d, v)| d.as_secs_f64() * v)
-        .sum::<f64>()
-        / total
+    pairs.iter().map(|(d, v)| d.as_secs_f64() * v).sum::<f64>() / total
 }
 
 #[cfg(test)]
@@ -370,7 +366,7 @@ mod tests {
         let mut tw = TimeWeighted::new(SimTime::ZERO, 10.0);
         tw.set(SimTime::from_secs(10), 20.0); // 10s at 10.0
         tw.set(SimTime::from_secs(20), 0.0); // 10s at 20.0
-        // Through t=30: 10s at 10 + 10s at 20 + 10s at 0 = 300 over 30s.
+                                             // Through t=30: 10s at 10 + 10s at 20 + 10s at 0 = 300 over 30s.
         assert!((tw.mean_through(SimTime::from_secs(30)) - 10.0).abs() < 1e-12);
         assert!((tw.integral_through(SimTime::from_secs(30)) - 300.0).abs() < 1e-9);
     }

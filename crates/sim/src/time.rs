@@ -122,7 +122,10 @@ impl SimDuration {
     ///
     /// Panics if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "invalid duration in seconds: {s}");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "invalid duration in seconds: {s}"
+        );
         SimDuration((s * 1e9).round() as u64)
     }
 

@@ -219,7 +219,10 @@ impl WorkloadTrace {
         for a in &self.arrivals {
             let est_s = a.bench.profile().ref_time_s * a.scale * 2.0;
             events.push((a.at, a.threads as i64));
-            events.push((a.at + SimDuration::from_secs_f64(est_s), -(a.threads as i64)));
+            events.push((
+                a.at + SimDuration::from_secs_f64(est_s),
+                -(a.threads as i64),
+            ));
         }
         events.sort();
         let mut cur = 0i64;
@@ -328,10 +331,7 @@ mod tests {
     #[test]
     fn scales_bound_job_sizes() {
         let t = WorkloadTrace::generate(&config(6));
-        assert!(t
-            .arrivals
-            .iter()
-            .all(|a| a.scale > 0.0 && a.scale <= 1.0));
+        assert!(t.arrivals.iter().all(|a| a.scale > 0.0 && a.scale <= 1.0));
     }
 
     #[test]

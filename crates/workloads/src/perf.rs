@@ -252,7 +252,11 @@ mod tests {
         for b in Benchmark::ALL {
             let p = b.profile();
             let t = m.solo_time_s(&p, 3_000);
-            assert!((t - p.ref_time_s).abs() < 1e-9, "{b}: {t} vs {}", p.ref_time_s);
+            assert!(
+                (t - p.ref_time_s).abs() < 1e-9,
+                "{b}: {t} vs {}",
+                p.ref_time_s
+            );
         }
     }
 

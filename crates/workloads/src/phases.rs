@@ -174,10 +174,7 @@ mod tests {
         let early = effective_profile(Benchmark::SpecGcc, 0.1);
         let mid = effective_profile(Benchmark::SpecGcc, 0.5);
         let late = effective_profile(Benchmark::SpecGcc, 0.9);
-        assert_eq!(
-            classify(early.l3c_per_mcycle),
-            IntensityClass::CpuIntensive
-        );
+        assert_eq!(classify(early.l3c_per_mcycle), IntensityClass::CpuIntensive);
         assert_eq!(
             classify(mid.l3c_per_mcycle),
             IntensityClass::MemoryIntensive

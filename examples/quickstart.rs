@@ -33,7 +33,10 @@ fn main() {
         let metrics = system.run(&trace, driver.as_mut());
 
         println!("\n== {config} ==");
-        println!("  completion time : {:8.1} s", metrics.makespan.as_secs_f64());
+        println!(
+            "  completion time : {:8.1} s",
+            metrics.makespan.as_secs_f64()
+        );
         println!("  average power   : {:8.2} W", metrics.avg_power_w);
         println!("  energy          : {:8.1} J", metrics.energy_j);
         println!("  ED2P            : {:8.3e} J*s^2", metrics.ed2p());

@@ -97,10 +97,7 @@ fn main() {
         let mut system = System::new(chip, PerfModel::xgene3(), SystemConfig::default());
         let m = system.run(&trace, driver.as_mut());
         let (savings, penalty) = match &baseline {
-            Some(b) => (
-                m.energy_savings_vs(b) * 100.0,
-                m.time_penalty_vs(b) * 100.0,
-            ),
+            Some(b) => (m.energy_savings_vs(b) * 100.0, m.time_penalty_vs(b) * 100.0),
             None => (0.0, 0.0),
         };
         println!(

@@ -83,7 +83,10 @@ fn main() {
     let droop = chip.vmin_model().droop_class(4);
     let mut rng = RngStream::from_root(7, "vmin-explorer");
     println!("=== campaign: {bench} 8T @2.4GHz on X-Gene 2 (60 runs/level) ===");
-    println!("{:>8} {:>8} {:>6} {:>8} {:>6} {:>6}", "mV", "pass", "SDC", "timeout", "crash", "hang");
+    println!(
+        "{:>8} {:>8} {:>6} {:>8} {:>6} {:>6}",
+        "mV", "pass", "SDC", "timeout", "crash", "hang"
+    );
     let mut v = safe.as_mv() + 15;
     loop {
         let voltage = Millivolts::new(v);

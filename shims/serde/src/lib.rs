@@ -1,0 +1,35 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its model types
+//! but (by design — the only serialized artifact is the experiment
+//! `Table`, which has a hand-rolled JSON codec) never drives a generic
+//! serializer through them. With no crates registry available, this
+//! shim keeps those derives compiling: the traits are markers with
+//! blanket implementations, and the derive macros expand to nothing.
+//!
+//! If real serde serialization is ever needed, replace this shim with a
+//! vendored copy of the actual crate; no call sites will change.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// `serde::de` namespace stand-in.
+pub mod de {
+    pub use super::DeserializeOwned;
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The companion `serde` shim provides `Serialize`/`Deserialize` as
+//! marker traits with blanket implementations, so these derives have
+//! nothing to generate: they only need to *exist* (and accept the
+//! `#[serde(...)]` helper attribute) for `#[derive(Serialize,
+//! Deserialize)]` to keep compiling unchanged across the workspace.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; the trait is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; the trait is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -2,7 +2,9 @@
 //! each other the way the paper's figures agree.
 
 use avfs_chip::vmin::DroopClass;
-use avfs_experiments::{characterization, droops, energy, factors, perfchar, tables, Machine, Scale};
+use avfs_experiments::{
+    characterization, droops, energy, factors, perfchar, tables, Machine, Scale,
+};
 
 #[test]
 fn fig3_agrees_with_table2_at_matching_configs() {
@@ -58,7 +60,9 @@ fn fig4_pmd2_is_the_most_robust_on_xgene2() {
 fn fig4_two_core_vmin_not_below_single_core() {
     let t = characterization::fig4(Scale::Quick);
     let single = t.value("core0", "safe Vmin (max over benchmarks)").unwrap();
-    let pair = t.value("cores0,1", "safe Vmin (max over benchmarks)").unwrap();
+    let pair = t
+        .value("cores0,1", "safe Vmin (max over benchmarks)")
+        .unwrap();
     assert!(pair >= single - 10.0, "pair {pair} vs single {single}");
 }
 
@@ -94,7 +98,10 @@ fn fig6_bands_tile_like_the_paper() {
         let clust16_mid = mid.value(bench, "16T(clustered)@3.0GHz").unwrap();
         assert!(spread16_top > 10.0);
         assert!(clust16_top < spread16_top / 10.0);
-        assert!(clust16_mid > 10.0, "{bench}: 16T clustered quiet in its own band");
+        assert!(
+            clust16_mid > 10.0,
+            "{bench}: 16T clustered quiet in its own band"
+        );
     }
 }
 
@@ -118,7 +125,10 @@ fn fig10_factors_are_consistent_with_fig3_columns() {
     let f10 = factors::fig10(Machine::XGene2);
     let f3 = characterization::fig3(Machine::XGene2, Scale::Quick);
     let division_pct = f10
-        .value("clock division (total below half speed)", "Vmin reduction (%)")
+        .value(
+            "clock division (total below half speed)",
+            "Vmin reduction (%)",
+        )
         .unwrap();
     // Recompute the division percentage from fig3's own columns (mean
     // across benchmarks).
@@ -142,9 +152,7 @@ fn fig11_energy_and_fig12_ed2p_are_consistent() {
     let d = energy::fig12(Machine::XGene3);
     // CPU-bound: halving frequency roughly doubles the implied delay, so
     // the ED2P/E ratio (= T²) must clearly grow.
-    let t2 = |bench: &str, col: &str| {
-        d.value(bench, col).unwrap() / e.value(bench, col).unwrap()
-    };
+    let t2 = |bench: &str, col: &str| d.value(bench, col).unwrap() / e.value(bench, col).unwrap();
     assert!(t2("namd", "32T@1.5GHz") > t2("namd", "32T@3.0GHz") * 2.0);
     // Memory-bound under heavy contention: delay barely moves (frequency
     // relief offsets the slower core), so the implied T² stays in a

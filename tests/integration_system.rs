@@ -51,7 +51,11 @@ fn energy_is_the_integral_of_power() {
     let m = xg2_system().run(&trace, &mut DefaultPolicy::ondemand());
     let trace_sum: f64 = m.power_trace.values().iter().sum();
     let rel = (trace_sum - m.energy_j).abs() / m.energy_j;
-    assert!(rel < 0.08, "trace sum {trace_sum} vs energy {} ({rel})", m.energy_j);
+    assert!(
+        rel < 0.08,
+        "trace sum {trace_sum} vs energy {} ({rel})",
+        m.energy_j
+    );
 }
 
 #[test]
