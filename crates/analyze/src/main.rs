@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run -p avfs-analyze -- invariants
 //! cargo run -p avfs-analyze -- lint [--update-allowlist]
-//! cargo run -p avfs-analyze -- race [--schedules N] [--events N] [--seed S]
+//! cargo run -p avfs-analyze -- race [--schedules N] [--events N] [--seed S] [--fault-rate F]
 //! cargo run -p avfs-analyze -- all
 //! ```
 //!
@@ -17,7 +17,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: avfs-analyze <invariants | lint [--update-allowlist] | \
-         race [--schedules N] [--events N] [--seed S] | all>"
+         race [--schedules N] [--events N] [--seed S] [--fault-rate F] | all>"
     );
     ExitCode::from(2)
 }
@@ -86,8 +86,8 @@ fn run_lint(update_allowlist: bool) -> bool {
     false
 }
 
-fn run_race(schedules: usize, events: usize, seed: u64) -> bool {
-    let report = race::explore(schedules, events, seed);
+fn run_race(schedules: usize, events: usize, seed: u64, fault_rate: f64) -> bool {
+    let report = race::explore_with_faults(schedules, events, seed, fault_rate);
     println!("{report}");
     if !report.is_clean() {
         for v in &report.violations {
@@ -105,6 +105,14 @@ fn parse_flag(args: &[String], flag: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+fn parse_f64_flag(args: &[String], flag: &str, default: f64) -> f64 {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().map(String::as_str) else {
@@ -114,16 +122,18 @@ fn main() -> ExitCode {
         "invariants" => run_invariants(),
         "lint" => run_lint(args.iter().any(|a| a == "--update-allowlist")),
         "race" => {
-            let schedules = parse_flag(&args, "--schedules", 128) as usize;
+            let schedules = parse_flag(&args, "--schedules", 160) as usize;
             let events = parse_flag(&args, "--events", 24) as usize;
             let seed = parse_flag(&args, "--seed", 0xA5F5_0001);
-            run_race(schedules, events, seed)
+            let fault_rate = parse_f64_flag(&args, "--fault-rate", 0.0);
+            run_race(schedules, events, seed, fault_rate)
         }
         "all" => {
             let inv = run_invariants();
             let lint_ok = run_lint(false);
-            let race_ok = run_race(128, 24, 0xA5F5_0001);
-            inv && lint_ok && race_ok
+            let race_ok = run_race(160, 24, 0xA5F5_0001, 0.0);
+            let fault_race_ok = run_race(96, 24, 0xFA17_0002, 0.10);
+            inv && lint_ok && race_ok && fault_race_ok
         }
         _ => return usage(),
     };

@@ -25,17 +25,34 @@
 //! Schedules are pure functions of their seed (a splitmix64 stream), so
 //! any reported violation is replayable by seed.
 
+//! Schedules can also be **fault-bearing**: a per-schedule
+//! [`FaultPlan`] makes the SLIMpro mailbox refuse or lose requests, the
+//! batch aborts at the failed action (as in the real system), and the
+//! daemon's recovery path (retry / safe-mode fallback) runs — with the
+//! same invariants still checked at every boundary. Droop excursions are
+//! deliberately *not* injected here: the harness does not advance time,
+//! and an excursion raises the effective Vmin at the instant it opens —
+//! before any controller could react — which would make the torn-state
+//! invariant unsatisfiable by construction. Droop response is covered by
+//! the full-system resilience runs instead.
+
 use avfs_chip::chip::Chip;
+use avfs_chip::error::ChipError;
+use avfs_chip::fault::{FaultPlan, FaultRates};
 use avfs_chip::freq::FreqStep;
 use avfs_chip::presets;
 use avfs_chip::topology::CoreSet;
 use avfs_core::daemon::Daemon;
-use avfs_sched::driver::{Action, Driver, ProcessView, SysEvent, SystemView};
+use avfs_sched::driver::{Action, Driver, FaultNotice, ProcessView, SysEvent, SystemView};
 use avfs_sched::governor::GovernorMode;
 use avfs_sched::process::{Pid, ProcessState};
 use avfs_sim::time::SimTime;
 use avfs_workloads::classify::IntensityClass;
 use std::fmt;
+
+/// Bound on synchronous fault→retry rounds per event (mirrors the
+/// scheduler's own dispatch bound).
+const FAULT_ROUNDS: usize = 8;
 
 /// Outcome of one exploration campaign.
 #[derive(Debug, Clone, Default)]
@@ -48,6 +65,8 @@ pub struct RaceReport {
     pub actions: u64,
     /// Invariant evaluations (one after every atomic action).
     pub checks: u64,
+    /// Mailbox faults injected (0 unless exploring with faults).
+    pub faults: u64,
     /// Invariant violations, each tagged with its schedule seed.
     pub violations: Vec<String>,
 }
@@ -63,11 +82,12 @@ impl fmt::Display for RaceReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} schedules, {} events, {} actions, {} interleaved checks, {} violations",
+            "{} schedules, {} events, {} actions, {} interleaved checks, {} injected faults, {} violations",
             self.schedules,
             self.events,
             self.actions,
             self.checks,
+            self.faults,
             self.violations.len()
         )
     }
@@ -116,6 +136,7 @@ impl Proc {
             }),
             class: Some(self.class),
             arrived_at: SimTime::ZERO,
+            stalled_until: None,
         }
     }
 }
@@ -130,13 +151,22 @@ struct Harness {
 }
 
 impl Harness {
-    fn new(seed: u64) -> Self {
+    fn new(seed: u64, fault_rate: f64) -> Self {
         // Alternate chips so both firmware behaviours are explored.
-        let chip = if seed.is_multiple_of(2) {
+        let mut chip = if seed.is_multiple_of(2) {
             presets::xgene2().build()
         } else {
             presets::xgene3().build()
         };
+        if fault_rate > 0.0 {
+            chip.set_fault_plan(Some(FaultPlan::new(
+                seed ^ 0xFA17_0000,
+                FaultRates {
+                    mailbox: fault_rate,
+                    ..FaultRates::ZERO
+                },
+            )));
+        }
         Harness {
             chip,
             procs: Vec::new(),
@@ -157,6 +187,7 @@ impl Harness {
                 .map(|p| self.chip.pmd_freq_step(p).unwrap_or(FreqStep::MAX))
                 .collect(),
             governor: self.governor,
+            droop_alert: self.chip.droop_excursion_active(),
             processes: self.procs.iter().map(Proc::view).collect(),
         }
     }
@@ -228,15 +259,27 @@ impl Harness {
     }
 
     /// Applies one atomic action — one mailbox/CPPC/affinity write.
-    fn apply(&mut self, action: Action) {
+    /// An injected mailbox fault is *not* a violation: it is reported
+    /// back as the notice the daemon's recovery path consumes.
+    fn apply(&mut self, action: Action) -> Option<FaultNotice> {
         self.report.actions += 1;
         match action {
-            Action::SetVoltage(mv) => {
-                if let Err(e) = self.chip.set_voltage(mv) {
+            Action::SetVoltage(mv) => match self.chip.set_voltage(mv) {
+                Ok(()) => None,
+                Err(ChipError::MailboxRefused { .. }) => {
+                    self.report.faults += 1;
+                    Some(FaultNotice::VoltageRefused(mv))
+                }
+                Err(ChipError::MailboxDropped) => {
+                    self.report.faults += 1;
+                    Some(FaultNotice::VoltageDropped(mv))
+                }
+                Err(e) => {
                     let msg = format!("daemon requested an unprogrammable voltage: {e}");
                     self.fail(&msg);
+                    None
                 }
-            }
+            },
             Action::SetPmdStep(pmd, step) => {
                 if self.governor == GovernorMode::Userspace {
                     if let Err(e) = self.chip.set_pmd_freq_step(pmd, step) {
@@ -244,37 +287,57 @@ impl Harness {
                         self.fail(&msg);
                     }
                 }
+                None
             }
             Action::PinProcess(pid, cores) => {
                 if let Some(p) = self.procs.iter_mut().find(|p| p.pid == pid) {
                     p.assigned = cores;
                     p.state = ProcessState::Running;
                 }
+                None
             }
-            Action::SetGovernor(mode) => self.governor = mode,
+            Action::SetGovernor(mode) => {
+                self.governor = mode;
+                None
+            }
         }
     }
 
     /// Delivers one event to the daemon and applies its plan one atomic
     /// action at a time, re-checking the invariants at every boundary —
     /// each boundary is a point a concurrent monitor sample can observe.
+    /// A faulted action aborts the rest of its batch (exactly as the
+    /// scheduler does) and the notice is fed back for a bounded number of
+    /// recovery rounds, all under the same interleaved checks.
     fn deliver(&mut self, daemon: &mut Daemon, event: SysEvent) {
         self.report.events += 1;
-        let view = self.view();
-        let actions = daemon.on_event(&view, &event);
-        self.check_invariants("before plan");
-        for (i, action) in actions.into_iter().enumerate() {
-            self.apply(action);
-            let at = format!("{event:?} action {i}");
-            self.check_invariants(&at);
+        let mut event = event;
+        for _round in 0..=FAULT_ROUNDS {
+            let view = self.view();
+            let actions = daemon.on_event(&view, &event);
+            self.check_invariants("before plan");
+            let mut notice = None;
+            for (i, action) in actions.into_iter().enumerate() {
+                let outcome = self.apply(action);
+                let at = format!("{event:?} action {i}");
+                self.check_invariants(&at);
+                if outcome.is_some() {
+                    notice = outcome;
+                    break;
+                }
+            }
+            match notice {
+                Some(n) => event = SysEvent::OperationFault(n),
+                None => break,
+            }
         }
     }
 }
 
 /// Runs one seeded schedule; returns its report.
-fn run_schedule(seed: u64, events_per_schedule: usize) -> RaceReport {
+fn run_schedule(seed: u64, events_per_schedule: usize, fault_rate: f64) -> RaceReport {
     let mut rng = Splitmix(seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
-    let mut harness = Harness::new(seed);
+    let mut harness = Harness::new(seed, fault_rate);
     let mut daemon = Daemon::optimal(&harness.chip);
     let mut next_pid = 1u64;
 
@@ -342,13 +405,31 @@ fn run_schedule(seed: u64, events_per_schedule: usize) -> RaceReport {
 /// Explores `schedules` seeded schedules of `events_per_schedule` events
 /// each, starting at `base_seed`.
 pub fn explore(schedules: usize, events_per_schedule: usize, base_seed: u64) -> RaceReport {
+    explore_with_faults(schedules, events_per_schedule, base_seed, 0.0)
+}
+
+/// Like [`explore`], but each schedule arms a seeded [`FaultPlan`]
+/// injecting mailbox refusals and drops at `fault_rate` per operation,
+/// exercising the daemon's retry and safe-mode recovery paths under the
+/// same interleaved invariant checks.
+pub fn explore_with_faults(
+    schedules: usize,
+    events_per_schedule: usize,
+    base_seed: u64,
+    fault_rate: f64,
+) -> RaceReport {
     let mut total = RaceReport::default();
     for i in 0..schedules {
-        let r = run_schedule(base_seed.wrapping_add(i as u64), events_per_schedule);
+        let r = run_schedule(
+            base_seed.wrapping_add(i as u64),
+            events_per_schedule,
+            fault_rate,
+        );
         total.schedules += 1;
         total.events += r.events;
         total.actions += r.actions;
         total.checks += r.checks;
+        total.faults += r.faults;
         total.violations.extend(r.violations);
     }
     total
@@ -380,5 +461,35 @@ mod tests {
         let report = explore(2, 10, 3);
         // One check before each plan plus one per action.
         assert!(report.checks >= report.actions);
+    }
+
+    #[test]
+    fn zero_fault_rate_matches_plain_exploration() {
+        let plain = explore(4, 12, 7);
+        let armed = explore_with_faults(4, 12, 7, 0.0);
+        assert_eq!(plain.events, armed.events);
+        assert_eq!(plain.actions, armed.actions);
+        assert_eq!(plain.checks, armed.checks);
+        assert_eq!(armed.faults, 0);
+        assert_eq!(plain.violations, armed.violations);
+    }
+
+    #[test]
+    fn recovery_paths_hold_the_invariants_under_faults() {
+        let report = explore_with_faults(12, 20, 1, 0.3);
+        assert!(report.faults > 0, "a 30% rate must inject faults");
+        assert!(report.is_clean(), "violations: {:#?}", report.violations);
+        // Recovery rounds add checked actions beyond the original plans.
+        assert!(report.checks >= report.actions);
+    }
+
+    #[test]
+    fn fault_exploration_is_deterministic_in_the_seed() {
+        let a = explore_with_faults(6, 16, 9, 0.25);
+        let b = explore_with_faults(6, 16, 9, 0.25);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.actions, b.actions);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.violations, b.violations);
     }
 }

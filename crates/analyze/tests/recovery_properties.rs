@@ -1,0 +1,173 @@
+//! Property tests for the daemon's fault-recovery behaviour:
+//!
+//! 1. Safe mode engages on exactly the configured number of
+//!    *consecutive* faults — never on fewer, no matter how fault bursts
+//!    below the threshold are interleaved with healthy events.
+//! 2. Leaving safe mode through probation restores the exact pre-fault
+//!    voltage target: the daemon's plan is a pure function of the system
+//!    view, so recovery is lossless.
+
+use avfs_chip::presets;
+use avfs_chip::topology::{CoreId, CoreSet};
+use avfs_chip::voltage::Millivolts;
+use avfs_core::daemon::Daemon;
+use avfs_core::recovery::{FaultDecision, Recovery, RecoveryConfig, RecoveryState};
+use avfs_sched::driver::{Action, Driver, FaultNotice, ProcessView, SysEvent, SystemView};
+use avfs_sched::governor::GovernorMode;
+use avfs_sched::process::{Pid, ProcessState};
+use avfs_sim::time::SimTime;
+use avfs_workloads::classify::IntensityClass;
+use proptest::prelude::*;
+
+fn mk_view(chip: &avfs_chip::Chip, procs: Vec<ProcessView>) -> SystemView {
+    SystemView {
+        now: SimTime::ZERO,
+        spec: chip.spec().clone(),
+        voltage: chip.voltage(),
+        pmd_steps: vec![avfs_chip::FreqStep::MAX; chip.spec().pmds() as usize],
+        governor: GovernorMode::Userspace,
+        droop_alert: false,
+        processes: procs,
+    }
+}
+
+/// A 2-thread running process clustered on PMD `slot`.
+fn running(pid: u64, slot: u16, class: IntensityClass) -> ProcessView {
+    let cores: CoreSet = [2 * slot, 2 * slot + 1]
+        .into_iter()
+        .map(CoreId::new)
+        .collect();
+    ProcessView {
+        pid: Pid(pid),
+        threads: 2,
+        state: ProcessState::Running,
+        assigned: cores,
+        l3c_per_mcycle: Some(match class {
+            IntensityClass::CpuIntensive => 200.0,
+            IntensityClass::MemoryIntensive => 15_000.0,
+        }),
+        class: Some(class),
+        arrived_at: SimTime::ZERO,
+        stalled_until: None,
+    }
+}
+
+fn last_voltage(acts: &[Action]) -> Option<Millivolts> {
+    acts.iter().rev().find_map(|a| match a {
+        Action::SetVoltage(v) => Some(*v),
+        _ => None,
+    })
+}
+
+proptest! {
+    /// The state machine alone: bursts strictly below the threshold,
+    /// separated by healthy events, never engage safe mode; the k-th
+    /// consecutive fault always does.
+    #[test]
+    fn safe_mode_engages_at_exactly_k_and_never_fewer(
+        k in 1u32..7,
+        clean_runs in collection::vec(0u32..5, 0..6),
+        seed in 0u64..1000,
+    ) {
+        let cfg = RecoveryConfig {
+            safe_mode_threshold: k,
+            ..RecoveryConfig::default()
+        };
+        let mut r = Recovery::new(cfg, seed);
+        for &cleans in &clean_runs {
+            for i in 1..k {
+                prop_assert!(
+                    matches!(r.on_fault(), FaultDecision::Retry { .. }),
+                    "fault {i} of a below-threshold burst (k={k}) must retry"
+                );
+            }
+            let _ = r.on_clean_event();
+            for _ in 0..cleans {
+                let _ = r.on_clean_event();
+            }
+            prop_assert_eq!(r.state(), RecoveryState::Optimized);
+        }
+        for _ in 1..k {
+            let _ = r.on_fault();
+        }
+        prop_assert_eq!(r.on_fault(), FaultDecision::EnterSafeMode);
+        prop_assert_eq!(r.state(), RecoveryState::SafeMode);
+    }
+
+    /// The full daemon: fault bursts below the default threshold (3),
+    /// each ended by a healthy event, never leave optimized planning.
+    #[test]
+    fn daemon_never_enters_safe_mode_below_threshold(
+        bursts in collection::vec(1u32..3, 1..6),
+    ) {
+        let chip = presets::xgene3().build();
+        let mut d = Daemon::optimal(&chip);
+        let view = mk_view(
+            &chip,
+            vec![running(1, 0, IntensityClass::CpuIntensive)],
+        );
+        let _ = d.on_event(&view, &SysEvent::MonitorTick);
+        let fault =
+            SysEvent::OperationFault(FaultNotice::VoltageRefused(Millivolts::new(840)));
+        for &n in &bursts {
+            for _ in 0..n {
+                let _ = d.on_event(&view, &fault);
+            }
+            prop_assert_eq!(d.recovery_state(), RecoveryState::Optimized);
+            let _ = d.on_event(&view, &SysEvent::MonitorTick);
+        }
+        let k = d.config().recovery.safe_mode_threshold;
+        for _ in 0..k {
+            let _ = d.on_event(&view, &fault);
+        }
+        prop_assert_eq!(d.recovery_state(), RecoveryState::SafeMode);
+    }
+
+    /// The full daemon: for a randomized workload mix, completing the
+    /// probation window restores the exact voltage target the daemon was
+    /// aiming for before the fault burst.
+    #[test]
+    fn probation_exit_restores_the_prefault_target_exactly(
+        nprocs in 1usize..5,
+        mem_mask in 0u32..16,
+    ) {
+        let chip = presets::xgene3().build();
+        let mut d = Daemon::optimal(&chip);
+        let procs: Vec<ProcessView> = (0..nprocs)
+            .map(|i| {
+                let class = if mem_mask & (1 << i) != 0 {
+                    IntensityClass::MemoryIntensive
+                } else {
+                    IntensityClass::CpuIntensive
+                };
+                running(i as u64 + 1, i as u16, class)
+            })
+            .collect();
+        let view = mk_view(&chip, procs);
+        let _ = d.on_event(&mk_view(&chip, vec![]), &SysEvent::MonitorTick);
+        let prefault =
+            last_voltage(&d.on_event(&view, &SysEvent::ProcessFinished(Pid(99))));
+        prop_assert!(prefault.is_some(), "expected an undervolt target");
+
+        let fault = SysEvent::OperationFault(FaultNotice::VoltageRefused(
+            prefault.unwrap(),
+        ));
+        for _ in 0..d.config().recovery.safe_mode_threshold {
+            let _ = d.on_event(&view, &fault);
+        }
+        prop_assert_eq!(d.recovery_state(), RecoveryState::SafeMode);
+
+        let total =
+            d.config().recovery.safe_hold_events + d.config().recovery.probation_events;
+        let mut last = None;
+        for _ in 0..total {
+            if let Some(v) =
+                last_voltage(&d.on_event(&view, &SysEvent::ProcessFinished(Pid(99))))
+            {
+                last = Some(v);
+            }
+        }
+        prop_assert_eq!(d.recovery_state(), RecoveryState::Optimized);
+        prop_assert_eq!(last, prefault);
+    }
+}

@@ -84,6 +84,7 @@ fn full_view() -> SystemView {
                 IntensityClass::MemoryIntensive
             }),
             arrived_at: SimTime::ZERO,
+            stalled_until: None,
         })
         .collect();
     SystemView {
@@ -92,6 +93,7 @@ fn full_view() -> SystemView {
         voltage: chip.voltage(),
         pmd_steps: vec![avfs_chip::FreqStep::MAX; 16],
         governor: GovernorMode::Userspace,
+        droop_alert: false,
         processes,
     }
 }

@@ -9,6 +9,7 @@
 use crate::droop::DroopModel;
 use crate::error::ChipError;
 use crate::failure::FailureModel;
+use crate::fault::{FaultPlan, FaultStats, MailboxFault};
 use crate::freq::{CppcBehavior, FreqStep, FreqVminClass, FrequencyMhz};
 use crate::pmu::ChipPmu;
 use crate::power::{PowerInputs, PowerModel};
@@ -32,6 +33,10 @@ pub struct Chip {
     mailbox_stats: MailboxStats,
     /// Power reported by the sensor on the last mailbox read, mW.
     last_sensor_mw: u64,
+    /// Optional seeded fault-injection plan; `None` (the default) leaves
+    /// every operation exactly as reliable as before the fault layer
+    /// existed.
+    fault: Option<FaultPlan>,
 }
 
 impl Chip {
@@ -63,7 +68,42 @@ impl Chip {
             pmu: ChipPmu::new(cores),
             mailbox_stats: MailboxStats::default(),
             last_sensor_mw: 0,
+            fault: None,
         }
+    }
+
+    /// Arms (or disarms) a fault-injection plan. The plan draws from its
+    /// own seeded stream, so arming one cannot perturb the simulator's
+    /// droop/failure sampling.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan;
+    }
+
+    /// The armed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// Mutable access to the armed fault plan (the simulator advances
+    /// droop excursions and samples PMU glitches through this).
+    pub fn fault_plan_mut(&mut self) -> Option<&mut FaultPlan> {
+        self.fault.as_mut()
+    }
+
+    /// Injected-fault counters (zero when no plan is armed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault
+            .as_ref()
+            .map(FaultPlan::stats)
+            .unwrap_or_default()
+    }
+
+    /// True while an injected droop excursion is raising the effective
+    /// safe Vmin.
+    pub fn droop_excursion_active(&self) -> bool {
+        self.fault
+            .as_ref()
+            .is_some_and(FaultPlan::droop_excursion_active)
     }
 
     /// The static chip description.
@@ -179,7 +219,11 @@ impl Chip {
             active_threads: active_cores.len(),
             workload_sensitivity: 0.0,
         };
-        self.vmin.safe_vmin_on(&q, &utilized)
+        let base = self.vmin.safe_vmin_on(&q, &utilized);
+        match &self.fault {
+            Some(plan) => plan.effective_vmin(base, self.rail.nominal()),
+            None => base,
+        }
     }
 
     /// True when the rail currently satisfies the safe Vmin of the given
@@ -190,8 +234,37 @@ impl Chip {
     }
 
     /// Processes a SLIMpro mailbox request.
+    ///
+    /// When a fault plan is armed the request may be refused, dropped,
+    /// or — for a latency spike — applied with the *response* lost, so
+    /// the caller observes a drop but the state changed underneath
+    /// (retries must be idempotent, and the daemon's are).
     pub fn mailbox(&mut self, req: MailboxRequest) -> MailboxResponse {
         self.mailbox_stats.requests += 1;
+        match self.fault.as_mut().and_then(FaultPlan::sample_mailbox) {
+            Some(MailboxFault::Refuse) => {
+                self.mailbox_stats.refusals += 1;
+                return MailboxResponse::Refused {
+                    reason: "injected fault: management processor busy".to_string(),
+                };
+            }
+            Some(MailboxFault::Drop) => {
+                self.mailbox_stats.drops += 1;
+                return MailboxResponse::Dropped;
+            }
+            Some(MailboxFault::LatencySpike) => {
+                // Apply the request, then lose the response.
+                self.mailbox_stats.drops += 1;
+                let _ = self.mailbox_apply(req);
+                return MailboxResponse::Dropped;
+            }
+            None => {}
+        }
+        self.mailbox_apply(req)
+    }
+
+    /// The fault-free mailbox path: actually processes the request.
+    fn mailbox_apply(&mut self, req: MailboxRequest) -> MailboxResponse {
         match req {
             MailboxRequest::SetVoltage(mv) => match self.rail.set(mv) {
                 Ok(()) => {
@@ -223,10 +296,19 @@ impl Chip {
     ///
     /// # Errors
     ///
-    /// Returns [`ChipError::VoltageOutOfRange`] if the regulator refuses.
+    /// Returns [`ChipError::VoltageOutOfRange`] if the request is outside
+    /// the regulated window (a caller bug — retrying cannot help),
+    /// [`ChipError::MailboxRefused`] if an in-range request was refused
+    /// (transient — retry may succeed), and [`ChipError::MailboxDropped`]
+    /// if the request or its response was lost in flight.
     pub fn set_voltage(&mut self, mv: Millivolts) -> Result<(), ChipError> {
+        let in_range = mv >= self.rail.floor() && mv <= self.rail.nominal();
         match self.mailbox(MailboxRequest::SetVoltage(mv)) {
             MailboxResponse::VoltageSet(_) => Ok(()),
+            MailboxResponse::Dropped => Err(ChipError::MailboxDropped),
+            MailboxResponse::Refused { reason } if in_range => {
+                Err(ChipError::MailboxRefused { reason })
+            }
             _ => Err(ChipError::VoltageOutOfRange {
                 requested: mv,
                 min: self.rail.floor(),
@@ -352,6 +434,109 @@ mod tests {
             }
             other => panic!("unexpected response {other:?}"),
         }
+    }
+
+    #[test]
+    fn injected_mailbox_faults_surface_as_typed_errors() {
+        use crate::fault::{FaultPlan, FaultRates};
+        let mut chip = presets::xgene3().build();
+        chip.set_fault_plan(Some(FaultPlan::new(
+            1,
+            FaultRates {
+                mailbox: 1.0,
+                ..FaultRates::ZERO
+            },
+        )));
+        let mut refused = 0;
+        let mut dropped = 0;
+        for _ in 0..50 {
+            match chip.set_voltage(Millivolts::new(860)) {
+                Err(ChipError::MailboxRefused { .. }) => refused += 1,
+                Err(ChipError::MailboxDropped) => dropped += 1,
+                other => panic!("expected an injected fault, got {other:?}"),
+            }
+        }
+        assert!(refused > 0 && dropped > 0);
+        assert_eq!(chip.fault_stats().mailbox_total(), 50);
+        // Out-of-range stays out-of-range even while faults are armed.
+        let mut clean = presets::xgene3().build();
+        assert!(matches!(
+            clean.set_voltage(Millivolts::new(1_000)),
+            Err(ChipError::VoltageOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn latency_spike_applies_the_request_but_loses_the_response() {
+        use crate::fault::{FaultPlan, FaultRates};
+        let mut chip = presets::xgene3().build();
+        chip.set_fault_plan(Some(FaultPlan::new(
+            0,
+            FaultRates {
+                mailbox: 1.0,
+                ..FaultRates::ZERO
+            },
+        )));
+        // Drive until a latency spike lands; the rail must have moved
+        // even though the caller saw a drop.
+        let mut spiked = false;
+        for _ in 0..200 {
+            let before = chip.fault_stats().latency_spikes;
+            let r = chip.set_voltage(Millivolts::new(860));
+            assert!(r.is_err());
+            if chip.fault_stats().latency_spikes > before {
+                assert_eq!(chip.voltage().as_mv(), 860);
+                spiked = true;
+                break;
+            }
+        }
+        assert!(spiked, "no latency spike in 200 full-rate draws");
+    }
+
+    #[test]
+    fn droop_excursion_raises_effective_vmin_then_clears() {
+        use crate::fault::{FaultPlan, FaultRates};
+        let mut chip = presets::xgene3().build();
+        let busy = CoreSet::first_n(8);
+        let base = chip.current_safe_vmin(busy);
+        chip.set_fault_plan(Some(FaultPlan::new(
+            2,
+            FaultRates {
+                droop: 1.0,
+                ..FaultRates::ZERO
+            },
+        )));
+        assert_eq!(chip.current_safe_vmin(busy), base);
+        chip.fault_plan_mut().unwrap().droop_check();
+        assert!(chip.droop_excursion_active());
+        let raised = chip.current_safe_vmin(busy);
+        assert!(raised > base, "{raised} vs {base}");
+        assert!(raised <= chip.nominal_voltage());
+        // A rail sitting exactly at the base Vmin is now unsafe.
+        chip.set_voltage(base).unwrap();
+        assert!(!chip.is_voltage_safe_for(busy));
+        chip.set_voltage(chip.nominal_voltage()).unwrap();
+        assert!(chip.is_voltage_safe_for(busy));
+    }
+
+    #[test]
+    fn zero_rate_plan_changes_nothing() {
+        use crate::fault::FaultPlan;
+        let mut armed = presets::xgene2().build();
+        armed.set_fault_plan(Some(FaultPlan::uniform(9, 0.0)));
+        let mut plain = presets::xgene2().build();
+        for mv in [900u32, 850, 820, 900] {
+            assert_eq!(
+                armed.set_voltage(Millivolts::new(mv)).is_ok(),
+                plain.set_voltage(Millivolts::new(mv)).is_ok()
+            );
+        }
+        assert_eq!(armed.voltage(), plain.voltage());
+        assert_eq!(armed.mailbox_stats(), plain.mailbox_stats());
+        assert_eq!(
+            armed.current_safe_vmin(CoreSet::first_n(8)),
+            plain.current_safe_vmin(CoreSet::first_n(8))
+        );
     }
 
     #[test]

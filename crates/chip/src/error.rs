@@ -26,6 +26,18 @@ pub enum ChipError {
     InvalidFreqStep(u8),
     /// A SLIMpro mailbox message the firmware does not understand.
     UnknownMailboxCommand(u8),
+    /// The SLIMpro mailbox refused an otherwise valid request (e.g. the
+    /// management processor was busy). Distinct from
+    /// [`ChipError::VoltageOutOfRange`]: the request could have been
+    /// honoured and a retry may succeed.
+    MailboxRefused {
+        /// The refusal reason reported by the management processor.
+        reason: String,
+    },
+    /// A SLIMpro mailbox request (or its response) was lost in flight;
+    /// the caller cannot tell whether it was applied and must retry
+    /// idempotently.
+    MailboxDropped,
 }
 
 impl fmt::Display for ChipError {
@@ -46,6 +58,12 @@ impl fmt::Display for ChipError {
             }
             ChipError::UnknownMailboxCommand(c) => {
                 write!(f, "unknown SLIMpro mailbox command 0x{c:02x}")
+            }
+            ChipError::MailboxRefused { reason } => {
+                write!(f, "SLIMpro mailbox refused the request: {reason}")
+            }
+            ChipError::MailboxDropped => {
+                write!(f, "SLIMpro mailbox request lost in flight (no response)")
             }
         }
     }
@@ -68,6 +86,16 @@ mod tests {
         assert!(s.contains("1200"));
         assert!(s.contains("700"));
         assert!(s.contains("980"));
+    }
+
+    #[test]
+    fn mailbox_errors_are_distinct_and_typed() {
+        let refused = ChipError::MailboxRefused {
+            reason: "management processor busy".into(),
+        };
+        assert!(refused.to_string().contains("busy"));
+        assert_ne!(refused, ChipError::MailboxDropped);
+        assert!(ChipError::MailboxDropped.to_string().contains("lost"));
     }
 
     #[test]

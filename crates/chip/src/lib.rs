@@ -44,6 +44,7 @@ pub mod chip;
 pub mod droop;
 pub mod error;
 pub mod failure;
+pub mod fault;
 pub mod freq;
 pub mod pmu;
 pub mod power;
@@ -56,6 +57,7 @@ pub mod voltage;
 
 pub use chip::Chip;
 pub use error::ChipError;
+pub use fault::{FaultPlan, FaultRates, FaultStats};
 pub use freq::{FreqStep, FreqVminClass, FrequencyMhz};
 pub use topology::{ChipSpec, CoreId, CoreSet, PmdId};
 pub use vmin::{DroopClass, VminModel};

@@ -41,12 +41,19 @@ pub enum MailboxResponse {
         /// Human-readable reason.
         reason: String,
     },
+    /// No response arrived: the request (or its reply) was lost in
+    /// flight. The caller cannot tell whether the request was applied
+    /// and must retry idempotently.
+    Dropped,
 }
 
 impl MailboxResponse {
     /// True when the response indicates the request was honoured.
     pub fn is_ok(&self) -> bool {
-        !matches!(self, MailboxResponse::Refused { .. })
+        !matches!(
+            self,
+            MailboxResponse::Refused { .. } | MailboxResponse::Dropped
+        )
     }
 }
 
@@ -60,6 +67,8 @@ pub struct MailboxStats {
     pub voltage_changes: u64,
     /// Requests refused.
     pub refusals: u64,
+    /// Requests (or responses) lost in flight.
+    pub drops: u64,
 }
 
 #[cfg(test)]
@@ -74,5 +83,10 @@ mod tests {
         .is_ok());
         assert!(MailboxResponse::Voltage(Millivolts::new(900)).is_ok());
         assert!(MailboxResponse::PowerMw(12_000).is_ok());
+    }
+
+    #[test]
+    fn dropped_is_not_ok() {
+        assert!(!MailboxResponse::Dropped.is_ok());
     }
 }

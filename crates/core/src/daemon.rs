@@ -21,6 +21,7 @@
 use crate::allocation::{plan_layout, PlanProc, PmdRole};
 use crate::monitor::ClassTracker;
 use crate::policy::PolicyTable;
+use crate::recovery::{FaultDecision, Recovery, RecoveryConfig, RecoveryState};
 use avfs_chip::chip::Chip;
 use avfs_chip::freq::{CppcBehavior, FreqStep, FreqVminClass};
 use avfs_chip::topology::{ChipSpec, CoreSet, PmdId};
@@ -53,6 +54,9 @@ pub struct DaemonConfig {
     /// Do not bother lowering voltage for gains smaller than this, mV
     /// (limits SLIMpro traffic; raises are always applied).
     pub lower_hysteresis_mv: u32,
+    /// Fault-recovery tuning (retry/backoff, safe-mode thresholds,
+    /// migration watchdog, droop guardband).
+    pub recovery: RecoveryConfig,
 }
 
 /// Counters describing what the daemon has done.
@@ -70,6 +74,20 @@ pub struct DaemonStats {
     pub voltage_lowers: u64,
     /// Pins dropped because a conflict could not be sequenced this event.
     pub deferred_pins: u64,
+    /// Fault notices received (mailbox refusals and drops combined).
+    pub mailbox_faults: u64,
+    /// Retries issued in response to fault notices.
+    pub retries: u64,
+    /// Total accounted retry backoff, microseconds.
+    pub backoff_us: u64,
+    /// Safe-mode entries (consecutive-fault threshold trips).
+    pub safe_mode_entries: u64,
+    /// Safe-mode exits (probation windows completed cleanly).
+    pub safe_mode_exits: u64,
+    /// Hung migrations rescued by the watchdog.
+    pub watchdog_fires: u64,
+    /// Droop-alert guardband engagements.
+    pub droop_emergencies: u64,
 }
 
 /// The online monitoring + placement daemon.
@@ -82,6 +100,8 @@ pub struct Daemon {
     tracker: ClassTracker,
     initialized: bool,
     stats: DaemonStats,
+    recovery: Recovery,
+    droop_guard: bool,
     name: String,
 }
 
@@ -95,6 +115,7 @@ impl Daemon {
             (false, true) => "safe-vmin",
             (false, false) => "baseline-daemon",
         };
+        let recovery = Recovery::new(config.recovery.clone(), 0x0DAE_0501);
         Daemon {
             spec: chip.spec().clone(),
             behavior: chip.behavior(),
@@ -103,6 +124,8 @@ impl Daemon {
             tracker: ClassTracker::new(),
             initialized: false,
             stats: DaemonStats::default(),
+            recovery,
+            droop_guard: false,
             name: name.to_string(),
         }
     }
@@ -131,6 +154,7 @@ impl Daemon {
                 fail_safe_ordering: true,
                 extra_margin_mv: 0,
                 lower_hysteresis_mv: 5,
+                recovery: RecoveryConfig::default(),
             },
         )
     }
@@ -156,6 +180,27 @@ impl Daemon {
     /// Activity counters.
     pub fn stats(&self) -> DaemonStats {
         self.stats
+    }
+
+    /// Where the fault-recovery machine currently stands.
+    pub fn recovery_state(&self) -> RecoveryState {
+        self.recovery.state()
+    }
+
+    /// True while the droop-alert guardband is engaged.
+    pub fn droop_guard_active(&self) -> bool {
+        self.droop_guard
+    }
+
+    /// The voltage guard in effect: the configured margin, plus the
+    /// droop-emergency bump while an excursion is alerting.
+    fn margin_mv(&self) -> u32 {
+        self.config.extra_margin_mv
+            + if self.droop_guard {
+                self.config.recovery.droop_emergency_mv
+            } else {
+                0
+            }
     }
 
     /// The daemon's configuration name as an owned string (used by the
@@ -261,16 +306,22 @@ impl Daemon {
             let fc_target = self.freq_class_of(&new_steps, &target_util);
             let fc_transition = fc_now.max(fc_target);
 
-            let transition_v = self
+            let mut transition_v = self
                 .table
                 .safe_voltage_for_pmds(fc_transition, union_util.len().max(1), margin_threads)
-                .offset(self.config.extra_margin_mv as i32);
-            let final_v = self
+                .offset(self.margin_mv() as i32)
+                .min(self.table.nominal());
+            let mut final_v = self
                 .table
                 .safe_voltage_for_pmds(fc_target, target_util.len().max(1), threads_target.max(1))
-                .offset(self.config.extra_margin_mv as i32)
+                .offset(self.margin_mv() as i32)
                 .min(self.table.nominal());
-            let transition_v = transition_v.min(self.table.nominal());
+            if self.recovery.pessimize_voltage() {
+                // Safe mode / probation: no undervolting until the
+                // mailbox has proven itself through a clean window.
+                transition_v = self.table.nominal();
+                final_v = self.table.nominal();
+            }
 
             if self.config.fail_safe_ordering && transition_v > view.voltage {
                 actions.push(Action::SetVoltage(transition_v));
@@ -338,11 +389,14 @@ impl Daemon {
         let busy = view.busy_cores();
         let util = busy.utilized_pmds(&self.spec);
         let fc = self.freq_class_of(&view.pmd_steps, &util);
-        let target = self
-            .table
-            .safe_voltage_for_pmds(fc, util.len().max(1), busy.len().max(1))
-            .offset(self.config.extra_margin_mv as i32)
-            .min(self.table.nominal());
+        let target = if self.recovery.pessimize_voltage() {
+            self.table.nominal()
+        } else {
+            self.table
+                .safe_voltage_for_pmds(fc, util.len().max(1), busy.len().max(1))
+                .offset(self.margin_mv() as i32)
+                .min(self.table.nominal())
+        };
         if target == view.voltage {
             return Vec::new();
         }
@@ -399,6 +453,104 @@ impl Daemon {
         self.stats.deferred_pins += pending.len() as u64;
         ordered
     }
+
+    // --- Fault recovery -----------------------------------------------
+
+    /// Safe-mode posture: hold (or restore) the nominal voltage. Nothing
+    /// else moves — the aborted batch left the old configuration in
+    /// place, and the old configuration is covered by the current rail
+    /// voltage thanks to the fail-safe ordering.
+    fn safe_mode_actions(&mut self, view: &SystemView) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if self.config.control_voltage && view.voltage < self.table.nominal() {
+            actions.push(Action::SetVoltage(self.table.nominal()));
+            self.stats.voltage_raises += 1;
+        }
+        actions
+    }
+
+    /// Tracks the chip's droop alert. Engaging or releasing the guard
+    /// returns `true` so the caller replans with the new margin; the
+    /// static safe-vmin configuration (which never replans) re-emits its
+    /// voltage here directly.
+    fn update_droop_guard(&mut self, view: &SystemView, actions: &mut Vec<Action>) -> bool {
+        if view.droop_alert == self.droop_guard {
+            return false;
+        }
+        self.droop_guard = view.droop_alert;
+        if self.droop_guard {
+            self.stats.droop_emergencies += 1;
+        }
+        if self.config.control_voltage && !self.config.control_placement {
+            let v = self
+                .table
+                .static_safe_voltage(FreqVminClass::Max)
+                .offset(self.margin_mv() as i32)
+                .min(self.table.nominal());
+            if v != view.voltage {
+                if v > view.voltage {
+                    self.stats.voltage_raises += 1;
+                } else {
+                    self.stats.voltage_lowers += 1;
+                }
+                actions.push(Action::SetVoltage(v));
+            }
+        }
+        true
+    }
+
+    /// Rescues migrations whose stall end sits implausibly far in the
+    /// future (a hung migration): re-pinning the same cores restarts the
+    /// move with the normal pause.
+    fn watchdog_actions(&mut self, view: &SystemView) -> Vec<Action> {
+        if !self.config.control_placement {
+            return Vec::new();
+        }
+        let timeout = self.config.recovery.watchdog_timeout;
+        let mut actions = Vec::new();
+        for p in &view.processes {
+            if let Some(stall) = p.stalled_until {
+                if stall.saturating_since(view.now) > timeout {
+                    actions.push(Action::PinProcess(p.pid, p.assigned));
+                    self.stats.watchdog_fires += 1;
+                }
+            }
+        }
+        actions
+    }
+
+    /// Responds to one fault notice per the recovery machine: bounded
+    /// jittered retry while below the threshold, nominal-voltage safe
+    /// mode at and beyond it.
+    fn on_operation_fault(
+        &mut self,
+        view: &SystemView,
+        notice: avfs_sched::driver::FaultNotice,
+    ) -> Vec<Action> {
+        self.stats.mailbox_faults += 1;
+        match self.recovery.on_fault() {
+            FaultDecision::Retry { backoff_us } => {
+                self.stats.retries += 1;
+                self.stats.backoff_us += backoff_us;
+                if self.config.control_placement {
+                    // A replan against the fresh view recomputes exactly
+                    // the deltas the aborted batch left outstanding
+                    // (including the failed voltage request itself).
+                    self.replan(view)
+                } else if self.config.control_voltage {
+                    // Static configuration: re-issue the lost request.
+                    vec![Action::SetVoltage(notice.requested())]
+                } else {
+                    Vec::new()
+                }
+            }
+            FaultDecision::EnterSafeMode => {
+                self.stats.safe_mode_entries += 1;
+                self.safe_mode_actions(view)
+            }
+            FaultDecision::HoldSafe => self.safe_mode_actions(view),
+        }
+    }
 }
 
 impl Driver for Daemon {
@@ -420,13 +572,25 @@ impl Driver for Daemon {
                 let v = self
                     .table
                     .static_safe_voltage(FreqVminClass::Max)
-                    .offset(self.config.extra_margin_mv as i32)
+                    .offset(self.margin_mv() as i32)
                     .min(self.table.nominal());
                 actions.push(Action::SetVoltage(v));
                 self.stats.voltage_lowers += 1;
             }
         }
         self.tracker.refresh(view);
+        if let SysEvent::OperationFault(notice) = event {
+            actions.extend(self.on_operation_fault(view, *notice));
+            return actions;
+        }
+        // Any non-fault event means the previous action batch applied
+        // cleanly (faults are delivered synchronously) — feed the
+        // recovery machine and pick up droop-alert changes.
+        let exited_safe_mode = self.recovery.on_clean_event();
+        if exited_safe_mode {
+            self.stats.safe_mode_exits += 1;
+        }
+        let droop_changed = self.update_droop_guard(view, &mut actions);
         match event {
             SysEvent::ClassChanged(pid, class) => {
                 self.tracker.set(*pid, *class);
@@ -438,15 +602,19 @@ impl Driver for Daemon {
             SysEvent::MonitorTick => {
                 // The monitoring part runs inside the kernel window; the
                 // placement part is only invoked on the three real events
-                // (§VI-A). Except right after initialization, when the
-                // voltage can already be settled for the idle chip.
-                if !actions.is_empty() {
+                // (§VI-A). Except right after initialization (settle the
+                // idle chip), when the droop guard or safe-mode posture
+                // changed (re-aim the voltage program), or when the
+                // watchdog found a hung migration.
+                actions.extend(self.watchdog_actions(view));
+                if !actions.is_empty() || exited_safe_mode || droop_changed {
                     actions.extend(self.replan(view));
                 }
                 if !self.config.fail_safe_ordering {
                     actions.extend(self.lazy_voltage_action(view));
                 }
             }
+            SysEvent::OperationFault(_) => unreachable!("handled above"),
         }
         actions
     }
@@ -476,6 +644,7 @@ mod tests {
             voltage: chip.voltage(),
             pmd_steps: vec![FreqStep::MAX; chip.spec().pmds() as usize],
             governor: GovernorMode::Userspace,
+            droop_alert: false,
             processes: procs,
         }
     }
@@ -489,6 +658,7 @@ mod tests {
             l3c_per_mcycle: None,
             class: None,
             arrived_at: SimTime::ZERO,
+            stalled_until: None,
         }
     }
 
@@ -504,6 +674,7 @@ mod tests {
             }),
             class: Some(class),
             arrived_at: SimTime::ZERO,
+            stalled_until: None,
         }
     }
 
@@ -733,5 +904,151 @@ mod tests {
         assert_eq!(Daemon::optimal(&chip).name(), "optimal");
         assert_eq!(Daemon::placement_only(&chip).name(), "placement");
         assert_eq!(Daemon::safe_vmin_only(&chip).name(), "safe-vmin");
+    }
+
+    // --- Fault recovery -----------------------------------------------
+
+    use avfs_sched::driver::FaultNotice;
+    use avfs_sim::time::SimDuration;
+
+    fn last_voltage(acts: &[Action]) -> Option<Millivolts> {
+        acts.iter().rev().find_map(|a| match a {
+            Action::SetVoltage(v) => Some(*v),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn consecutive_faults_trip_safe_mode_at_threshold() {
+        let chip = xg3_chip();
+        let mut d = Daemon::optimal(&chip);
+        let _ = d.on_event(&mk_view(&chip, vec![]), &SysEvent::MonitorTick);
+        let mut view = mk_view(
+            &chip,
+            vec![running(1, cores(&[0, 1]), IntensityClass::CpuIntensive)],
+        );
+        view.voltage = Millivolts::new(800);
+        let fault = SysEvent::OperationFault(FaultNotice::VoltageRefused(Millivolts::new(790)));
+        let k = d.config().recovery.safe_mode_threshold;
+        for i in 1..k {
+            let _ = d.on_event(&view, &fault);
+            assert_eq!(
+                d.recovery_state(),
+                RecoveryState::Optimized,
+                "must still be optimized after fault {i} of k={k}"
+            );
+        }
+        let acts = d.on_event(&view, &fault);
+        assert_eq!(d.recovery_state(), RecoveryState::SafeMode);
+        // The fallback raises the rail to nominal.
+        assert_eq!(last_voltage(&acts), Some(d.table.nominal()));
+        let s = d.stats();
+        assert_eq!(s.mailbox_faults, u64::from(k));
+        assert_eq!(s.retries, u64::from(k - 1));
+        assert_eq!(s.safe_mode_entries, 1);
+        assert!(s.backoff_us > 0, "retries must account backoff time");
+    }
+
+    #[test]
+    fn probation_exit_restores_the_prefault_voltage_target() {
+        let chip = xg3_chip();
+        let mut d = Daemon::optimal(&chip);
+        let _ = d.on_event(&mk_view(&chip, vec![]), &SysEvent::MonitorTick);
+        let view = mk_view(
+            &chip,
+            vec![running(1, cores(&[0, 1]), IntensityClass::CpuIntensive)],
+        );
+        let prefault =
+            last_voltage(&d.on_event(&view, &SysEvent::ProcessFinished(Pid(9)))).unwrap();
+        assert!(prefault < d.table.nominal(), "expected an undervolt");
+
+        let fault = SysEvent::OperationFault(FaultNotice::VoltageRefused(prefault));
+        for _ in 0..d.config().recovery.safe_mode_threshold {
+            let _ = d.on_event(&view, &fault);
+        }
+        assert_eq!(d.recovery_state(), RecoveryState::SafeMode);
+        // While pessimizing, no undervolt is attempted (rail already
+        // nominal in this view).
+        let safe_acts = d.on_event(&view, &SysEvent::ProcessFinished(Pid(8)));
+        assert_eq!(last_voltage(&safe_acts), None);
+
+        // Burn through the safe-mode hold and the probation window with
+        // clean events; the exit replan must re-aim the exact pre-fault
+        // target.
+        let total = d.config().recovery.safe_hold_events + d.config().recovery.probation_events;
+        let mut last = None;
+        for _ in 0..total {
+            last = last_voltage(&d.on_event(&view, &SysEvent::ProcessFinished(Pid(7))));
+        }
+        assert_eq!(d.recovery_state(), RecoveryState::Optimized);
+        assert_eq!(last, Some(prefault));
+        assert_eq!(d.stats().safe_mode_exits, 1);
+    }
+
+    #[test]
+    fn watchdog_rescues_hung_migrations_only() {
+        let chip = xg3_chip();
+        let mut d = Daemon::optimal(&chip);
+        let _ = d.on_event(&mk_view(&chip, vec![]), &SysEvent::MonitorTick);
+        let mut view = mk_view(
+            &chip,
+            vec![
+                running(1, cores(&[0, 1]), IntensityClass::CpuIntensive),
+                running(2, cores(&[2]), IntensityClass::CpuIntensive),
+            ],
+        );
+        view.now = SimTime::from_secs(10);
+        // Process 1's migration is wedged; process 2 is in a normal pause.
+        view.processes[0].stalled_until = Some(SimTime::from_secs(3_600));
+        view.processes[1].stalled_until = Some(view.now + SimDuration::from_millis(2));
+        let acts = d.on_event(&view, &SysEvent::MonitorTick);
+        assert!(
+            acts.iter()
+                .any(|a| matches!(a, Action::PinProcess(Pid(1), cs) if *cs == cores(&[0, 1]))),
+            "expected a same-cores rescue pin in {acts:?}"
+        );
+        assert_eq!(d.stats().watchdog_fires, 1);
+    }
+
+    #[test]
+    fn droop_alert_bumps_the_guardband_and_releases() {
+        let chip = xg3_chip();
+        let mut d = Daemon::optimal(&chip);
+        let _ = d.on_event(&mk_view(&chip, vec![]), &SysEvent::MonitorTick);
+        let view = mk_view(
+            &chip,
+            vec![running(1, cores(&[0, 1]), IntensityClass::CpuIntensive)],
+        );
+        let calm = last_voltage(&d.on_event(&view, &SysEvent::ProcessFinished(Pid(9)))).unwrap();
+
+        let mut alert = view.clone();
+        alert.droop_alert = true;
+        let acts = d.on_event(&alert, &SysEvent::MonitorTick);
+        assert!(d.droop_guard_active());
+        assert_eq!(d.stats().droop_emergencies, 1);
+        let bump = d.config().recovery.droop_emergency_mv as i32;
+        assert_eq!(
+            last_voltage(&acts),
+            Some(calm.offset(bump).min(d.table.nominal()))
+        );
+
+        // Alert clears: the guard releases and the target settles back.
+        let acts = d.on_event(&view, &SysEvent::MonitorTick);
+        assert!(!d.droop_guard_active());
+        assert_eq!(last_voltage(&acts), Some(calm));
+    }
+
+    #[test]
+    fn static_config_retries_the_lost_request_verbatim() {
+        let chip = xg3_chip();
+        let mut d = Daemon::safe_vmin_only(&chip);
+        let view = mk_view(&chip, vec![]);
+        let target = last_voltage(&d.on_event(&view, &SysEvent::MonitorTick)).unwrap();
+        let acts = d.on_event(
+            &view,
+            &SysEvent::OperationFault(FaultNotice::VoltageDropped(target)),
+        );
+        assert_eq!(last_voltage(&acts), Some(target));
+        assert_eq!(d.stats().retries, 1);
     }
 }

@@ -20,6 +20,10 @@
 //!   programs per-PMD frequencies; and adjusts the rail voltage with the
 //!   **fail-safe ordering** — raise voltage *before* any change that
 //!   could raise the safe Vmin, lower it only afterwards;
+//! * [`recovery`] — the fault-recovery machinery: bounded jittered retry
+//!   for failed SLIMpro requests, the three-state safe-mode fallback
+//!   (optimized → safe mode → probation), and the tuning knobs for the
+//!   migration watchdog and droop-emergency guardband;
 //! * [`configs`] — the four evaluation configurations of §VI-B
 //!   (Baseline / Safe Vmin / Placement / Optimal) as ready-made drivers;
 //! * [`edp`] — ED2P/EDP estimation helpers used by the frequency policy
@@ -52,8 +56,10 @@ pub mod daemon;
 pub mod edp;
 pub mod monitor;
 pub mod policy;
+pub mod recovery;
 pub mod service;
 
 pub use configs::EvalConfig;
 pub use daemon::{Daemon, DaemonConfig};
 pub use policy::PolicyTable;
+pub use recovery::{Recovery, RecoveryConfig, RecoveryState};

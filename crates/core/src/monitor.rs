@@ -98,6 +98,7 @@ mod tests {
             voltage: Millivolts::new(980),
             pmd_steps: vec![avfs_chip::freq::FreqStep::MAX; 4],
             governor: GovernorMode::Userspace,
+            droop_alert: false,
             processes: classes
                 .iter()
                 .map(|&(pid, class)| ProcessView {
@@ -108,6 +109,7 @@ mod tests {
                     l3c_per_mcycle: None,
                     class,
                     arrived_at: SimTime::ZERO,
+                    stalled_until: None,
                 })
                 .collect(),
         }

@@ -233,6 +233,7 @@ mod tests {
             voltage: chip.voltage(),
             pmd_steps: vec![avfs_chip::FreqStep::MAX; 4],
             governor: avfs_sched::governor::GovernorMode::Userspace,
+            droop_alert: false,
             processes: vec![],
         };
         let actions = handle.on_event(&view, &SysEvent::MonitorTick);

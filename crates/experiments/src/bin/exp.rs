@@ -1,19 +1,25 @@
 //! Experiment runner: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! exp [--quick] [--csv DIR] [--seed N] <id>...
+//! exp [--quick] [--smoke] [--csv DIR] [--seed N] <id>...
 //! exp all                # every artifact
 //! exp table3 table4      # just the headline tables
+//! exp resilience --smoke # short seeded fault soak (CI gate)
 //! ```
 //!
 //! Artifact ids: `table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
-//! fig11 fig12 fig14 fig15 table3 table4 ablations`.
+//! fig11 fig12 fig14 fig15 table3 table4 ablations resilience`.
+//!
+//! `--smoke` implies `--quick` and trims the resilience sweep to its
+//! rate-0 anchor plus the 5% acceptance point on one machine; the
+//! resilience id exits nonzero if any run fails its acceptance checks
+//! (all jobs drained, safe end state, strictly positive savings).
 
 use avfs_chip::vmin::DroopClass;
 use avfs_experiments::report::Table;
 use avfs_experiments::{
-    ablations, characterization, droops, energy, factors, perfchar, server_eval, tables, Machine,
-    Scale,
+    ablations, characterization, droops, energy, factors, perfchar, resilience, server_eval,
+    tables, Machine, Scale,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -22,6 +28,7 @@ struct Options {
     scale: Scale,
     csv_dir: Option<PathBuf>,
     seed: u64,
+    smoke: bool,
     ids: Vec<String>,
 }
 
@@ -35,12 +42,17 @@ fn parse_args() -> Result<Options, String> {
         scale: Scale::Paper,
         csv_dir: None,
         seed: 2024,
+        smoke: false,
         ids: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => opts.scale = Scale::Quick,
+            "--smoke" => {
+                opts.scale = Scale::Quick;
+                opts.smoke = true;
+            }
             "--csv" => {
                 let dir = args.next().ok_or("--csv needs a directory")?;
                 opts.csv_dir = Some(PathBuf::from(dir));
@@ -53,11 +65,11 @@ fn parse_args() -> Result<Options, String> {
                 ALL_IDS
                     .iter()
                     .map(|s| s.to_string())
-                    .chain(["ablations".into()]),
+                    .chain(["ablations".into(), "resilience".into()]),
             ),
             "--help" | "-h" => {
                 println!(
-                    "usage: exp [--quick] [--csv DIR] [--seed N] <id>...\n  ids: {} ablations all",
+                    "usage: exp [--quick] [--smoke] [--csv DIR] [--seed N] <id>...\n  ids: {} ablations resilience all",
                     ALL_IDS.join(" ")
                 );
                 std::process::exit(0);
@@ -123,6 +135,28 @@ fn run_id(id: &str, opts: &Options) -> Result<Vec<Table>, String> {
         }
         "table3" => vec![server_eval::table3_4(Machine::XGene2, scale, seed).0],
         "table4" => vec![server_eval::table3_4(Machine::XGene3, scale, seed).0],
+        "resilience" => {
+            let rates: &[f64] = if opts.smoke {
+                &resilience::SMOKE_RATES
+            } else {
+                &resilience::FULL_RATES
+            };
+            let machines: &[Machine] = if opts.smoke {
+                &[Machine::XGene2]
+            } else {
+                &Machine::BOTH
+            };
+            let mut out = Vec::new();
+            for &m in machines {
+                let results = resilience::sweep(m, scale, seed, rates);
+                results
+                    .validate()
+                    .map_err(|e| format!("resilience acceptance failed on {m}: {e}"))?;
+                out.push(resilience::degradation_curve(&results));
+                out.push(resilience::recovery_stats(&results));
+            }
+            out
+        }
         "ablations" => {
             let mut out = Vec::new();
             for m in Machine::BOTH {

@@ -13,6 +13,7 @@
 //! | [`energy`] | Fig. 7 (clustered vs spreaded energy), Fig. 11 (energy), Fig. 12 (ED2P) |
 //! | [`server_eval`] | Fig. 14 (power trace), Fig. 15 (load trace), Tables III/IV (four configurations) |
 //! | [`ablations`] | beyond-paper sweeps: fail-safe off, classification threshold, guardband width, migration cost |
+//! | [`resilience`] | beyond-paper fault-injection sweep: savings-vs-fault-rate degradation curve and recovery counters |
 //!
 //! Every harness takes a [`Scale`] so integration tests can run the same
 //! code path in seconds while `cargo run -p avfs-experiments --bin exp`
@@ -26,6 +27,7 @@ pub mod factors;
 mod json;
 pub mod perfchar;
 pub mod report;
+pub mod resilience;
 pub mod server_eval;
 pub mod tables;
 

@@ -132,6 +132,12 @@ impl From<usize> for Cell {
     }
 }
 
+impl From<u64> for Cell {
+    fn from(v: u64) -> Cell {
+        Cell::Int(v as i64)
+    }
+}
+
 /// A labelled result table corresponding to one paper artifact (or one
 /// panel of it).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

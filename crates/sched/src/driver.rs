@@ -31,6 +31,31 @@ pub enum SysEvent {
     ClassChanged(Pid, IntensityClass),
     /// Periodic monitoring tick (counter sampling window elapsed).
     MonitorTick,
+    /// One of the driver's own actions failed transiently (mailbox
+    /// refusal or drop). Delivered synchronously after the failed batch,
+    /// with the remainder of that batch discarded — the driver decides
+    /// whether to retry, back off, or fall back to a safe mode.
+    OperationFault(FaultNotice),
+}
+
+/// What failed, as observed by the control plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultNotice {
+    /// A `SetVoltage` request was refused by the SLIMpro; the rail is
+    /// unchanged.
+    VoltageRefused(Millivolts),
+    /// A `SetVoltage` request (or its response) was lost in flight; the
+    /// rail may or may not have moved — only a fresh view tells.
+    VoltageDropped(Millivolts),
+}
+
+impl FaultNotice {
+    /// The voltage the failed request carried.
+    pub fn requested(&self) -> Millivolts {
+        match *self {
+            FaultNotice::VoltageRefused(v) | FaultNotice::VoltageDropped(v) => v,
+        }
+    }
 }
 
 /// Steering actions a driver can request.
@@ -68,6 +93,11 @@ pub struct ProcessView {
     pub class: Option<IntensityClass>,
     /// When the process arrived.
     pub arrived_at: SimTime,
+    /// When the in-flight migration pause ends, if one is in progress
+    /// (`None` when the process is executing normally). A hung migration
+    /// shows up as a stall end far in the future — what the daemon's
+    /// watchdog looks for.
+    pub stalled_until: Option<SimTime>,
 }
 
 /// Read-only snapshot handed to drivers.
@@ -83,6 +113,10 @@ pub struct SystemView {
     pub pmd_steps: Vec<FreqStep>,
     /// Governor mode in effect.
     pub governor: GovernorMode,
+    /// True while a transient droop excursion is raising the effective
+    /// safe Vmin (the chip's droop sensor output; §III-B). The daemon
+    /// responds by bumping its guardband immediately.
+    pub droop_alert: bool,
     /// Live processes (waiting or running), in pid order.
     pub processes: Vec<ProcessView>,
 }
@@ -184,6 +218,7 @@ mod tests {
             voltage: Millivolts::new(980),
             pmd_steps: vec![FreqStep::MAX; 4],
             governor: GovernorMode::Ondemand,
+            droop_alert: false,
             processes: vec![
                 ProcessView {
                     pid: Pid(1),
@@ -193,6 +228,7 @@ mod tests {
                     l3c_per_mcycle: Some(120.0),
                     class: Some(IntensityClass::CpuIntensive),
                     arrived_at: SimTime::ZERO,
+                    stalled_until: None,
                 },
                 ProcessView {
                     pid: Pid(2),
@@ -202,6 +238,7 @@ mod tests {
                     l3c_per_mcycle: None,
                     class: None,
                     arrived_at: SimTime::from_secs(1),
+                    stalled_until: None,
                 },
             ],
         }

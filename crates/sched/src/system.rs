@@ -20,11 +20,12 @@
 //! including the paper's fail-safe ordering, because actions apply in
 //! order within one event.
 
-use crate::driver::{Action, Driver, ProcessView, SysEvent, SystemView};
+use crate::driver::{Action, Driver, FaultNotice, ProcessView, SysEvent, SystemView};
 use crate::governor::GovernorMode;
 use crate::metrics::{ProcessRecord, RunMetrics};
 use crate::process::{Pid, Process, ProcessState};
 use avfs_chip::chip::Chip;
+use avfs_chip::error::ChipError;
 use avfs_chip::power::{PmdLoad, PowerInputs};
 use avfs_chip::topology::{CoreId, CoreSet, PmdId};
 use avfs_sim::stats::TimeWeighted;
@@ -57,6 +58,18 @@ pub struct SystemConfig {
     /// 3000 by default; ablations sweep it).
     pub l3c_threshold: f64,
 }
+
+/// How long a hung migration stalls if nothing rescues it. Far beyond
+/// any watchdog threshold, but finite so an undefended run still
+/// terminates (monitor ticks keep the event loop alive meanwhile).
+const HANG_STALL: SimDuration = SimDuration::from_secs(3_600);
+
+/// Bound on synchronous fault-feedback rounds per event: each round
+/// re-consults the driver with the [`SysEvent::OperationFault`]s its
+/// previous actions provoked. Deep enough for a retry ladder to reach
+/// safe mode, shallow enough to guarantee termination even against a
+/// driver that retries forever at a 100% fault rate.
+const FAULT_FEEDBACK_ROUNDS: usize = 8;
 
 impl Default for SystemConfig {
     fn default() -> Self {
@@ -205,8 +218,7 @@ impl System {
         let mut last_finish = self.now;
 
         // Let the driver initialize (e.g. switch governor) before work.
-        let acts = driver.on_event(&self.view(), &SysEvent::MonitorTick);
-        self.apply_actions(&acts, &mut metrics);
+        self.dispatch(driver, SysEvent::MonitorTick, &mut metrics);
         self.apply_governor();
 
         let mut iterations: u64 = 0;
@@ -253,8 +265,7 @@ impl System {
                 if a.at <= self.now {
                     let a = arrivals.next().expect("peeked");
                     let pid = self.submit(a.bench, a.threads, a.scale);
-                    let acts = driver.on_event(&self.view(), &SysEvent::ProcessArrived(pid));
-                    self.apply_actions(&acts, &mut metrics);
+                    self.dispatch(driver, SysEvent::ProcessArrived(pid), &mut metrics);
                     self.try_admit();
                     self.apply_governor();
                 } else {
@@ -286,8 +297,7 @@ impl System {
                 metrics.completed.push(record);
                 last_finish = self.now;
                 self.monitors.remove(&pid);
-                let acts = driver.on_event(&self.view(), &SysEvent::ProcessFinished(pid));
-                self.apply_actions(&acts, &mut metrics);
+                self.dispatch(driver, SysEvent::ProcessFinished(pid), &mut metrics);
                 self.try_admit();
                 self.apply_governor();
             }
@@ -295,12 +305,17 @@ impl System {
             // Monitoring window.
             if self.now >= next_monitor {
                 next_monitor = self.now + self.config.monitor_interval;
+                // Advance droop-excursion state *before* the driver is
+                // consulted, so an excursion opening at this boundary is
+                // visible (via `droop_alert`) in the very view the driver
+                // reacts to — no unsafe window ever elapses in sim time.
+                if let Some(plan) = self.chip.fault_plan_mut() {
+                    plan.droop_check();
+                }
                 let changes = self.close_monitor_windows();
-                let acts = driver.on_event(&self.view(), &SysEvent::MonitorTick);
-                self.apply_actions(&acts, &mut metrics);
+                self.dispatch(driver, SysEvent::MonitorTick, &mut metrics);
                 for (pid, class) in changes {
-                    let acts = driver.on_event(&self.view(), &SysEvent::ClassChanged(pid, class));
-                    self.apply_actions(&acts, &mut metrics);
+                    self.dispatch(driver, SysEvent::ClassChanged(pid, class), &mut metrics);
                 }
                 self.apply_governor();
             }
@@ -351,6 +366,8 @@ impl System {
                     l3c_per_mcycle: mon.and_then(|m| m.last_rate),
                     class: mon.and_then(|m| m.classifier.current()),
                     arrived_at: p.arrived_at,
+                    stalled_until: (p.is_running() && p.stalled_until > self.now)
+                        .then_some(p.stalled_until),
                 }
             })
             .collect();
@@ -365,7 +382,30 @@ impl System {
                 .map(|p| self.chip.pmd_freq_step(p).expect("valid pmd"))
                 .collect(),
             governor: self.governor,
+            droop_alert: self.chip.droop_excursion_active(),
             processes,
+        }
+    }
+
+    /// Delivers one event to the driver and applies its plan, then feeds
+    /// any transient operation faults back as [`SysEvent::OperationFault`]
+    /// events for a bounded number of rounds — the synchronous
+    /// request/response loop a real daemon runs against the mailbox.
+    /// With no fault plan armed, no notice is ever produced and this is
+    /// exactly the old consult-once path.
+    fn dispatch(&mut self, driver: &mut dyn Driver, event: SysEvent, metrics: &mut RunMetrics) {
+        let acts = driver.on_event(&self.view(), &event);
+        let mut notices = self.apply_actions(&acts, metrics);
+        for _ in 0..FAULT_FEEDBACK_ROUNDS {
+            if notices.is_empty() {
+                break;
+            }
+            let mut next = Vec::new();
+            for notice in notices {
+                let acts = driver.on_event(&self.view(), &SysEvent::OperationFault(notice));
+                next.extend(self.apply_actions(&acts, metrics));
+            }
+            notices = next;
         }
     }
 
@@ -611,9 +651,15 @@ impl System {
         }
     }
 
-    /// Applies driver actions in order.
-    fn apply_actions(&mut self, actions: &[Action], metrics: &mut RunMetrics) {
+    /// Applies driver actions in order, returning the transient faults
+    /// they hit. A failed voltage write aborts the remainder of the batch
+    /// — the daemon's mailbox write is synchronous, so a raise that never
+    /// landed must gate the reconfiguration it was meant to cover (the
+    /// fail-safe ordering survives injected faults precisely because of
+    /// this cut).
+    fn apply_actions(&mut self, actions: &[Action], metrics: &mut RunMetrics) -> Vec<FaultNotice> {
         let _ = metrics;
+        let mut notices = Vec::new();
         for action in actions {
             match *action {
                 Action::PinProcess(pid, cores) => {
@@ -631,17 +677,25 @@ impl System {
                         self.rejected_actions += 1;
                     }
                 }
-                Action::SetVoltage(mv) => {
-                    if self.chip.set_voltage(mv).is_err() {
-                        self.rejected_actions += 1;
+                Action::SetVoltage(mv) => match self.chip.set_voltage(mv) {
+                    Ok(()) => {}
+                    Err(ChipError::MailboxRefused { .. }) => {
+                        notices.push(FaultNotice::VoltageRefused(mv));
+                        break;
                     }
-                }
+                    Err(ChipError::MailboxDropped) => {
+                        notices.push(FaultNotice::VoltageDropped(mv));
+                        break;
+                    }
+                    Err(_) => self.rejected_actions += 1,
+                },
                 Action::SetGovernor(mode) => {
                     self.governor = mode;
                     self.apply_governor();
                 }
             }
         }
+        notices
     }
 
     /// Pins (places or migrates) a process; returns false when invalid.
@@ -668,6 +722,18 @@ impl System {
         }
         let now = self.now;
         let pause = self.config.migration_pause;
+        // A daemon-driven migration may hang mid-flight (injected fault).
+        // Initial placement of a waiting process never hangs — only the
+        // teardown/rebuild of a running process's mapping is at risk.
+        let migrating = self
+            .procs
+            .get(&pid)
+            .is_some_and(|p| p.state == ProcessState::Running && p.assigned != cores);
+        let hangs = migrating
+            && self
+                .chip
+                .fault_plan_mut()
+                .is_some_and(|f| f.sample_migration_hang());
         let p = self.procs.get_mut(&pid).expect("checked above");
         match p.state {
             ProcessState::Waiting => {
@@ -679,9 +745,15 @@ impl System {
             ProcessState::Running => {
                 if p.assigned != cores {
                     p.assigned = cores;
-                    p.stalled_until = now + pause;
+                    p.stalled_until = now + if hangs { HANG_STALL } else { pause };
                     p.migrations += 1;
                     self.migrations += 1;
+                } else if p.stalled_until.saturating_since(now) > pause {
+                    // Re-pinning a hung process onto the cores it already
+                    // holds cancels the stalled migration: the watchdog's
+                    // rescue path. The normal migration pause still
+                    // applies to the restart.
+                    p.stalled_until = now + pause;
                 }
             }
             ProcessState::Finished => return false,
@@ -761,6 +833,15 @@ impl System {
             if cycles < 100_000 {
                 continue; // window too small to classify
             }
+            // An injected PMU glitch corrupts what this window reads
+            // (saturated or dropped-out L3 counter); the classifier's
+            // hysteresis is the daemon's defence against the resulting
+            // churn.
+            let (cycles, l3) = self
+                .chip
+                .fault_plan_mut()
+                .and_then(|f| f.sample_pmu_glitch(cycles, l3))
+                .unwrap_or((cycles, l3));
             let rate = l3 as f64 * 1e6 / cycles as f64;
             mon.last_rate = Some(rate);
             let before = mon.classifier.current();
@@ -1097,6 +1178,157 @@ mod tests {
         )]);
         let _ = sys.run(&tiny_trace(), &mut driver);
         assert_eq!(sys.rejected_actions(), 1);
+    }
+
+    /// A driver that requests one undervolt and retries it a bounded
+    /// number of times when told the request failed.
+    struct RetryProbe {
+        target: avfs_chip::Millivolts,
+        attempted: bool,
+        faults_seen: u64,
+        retries_left: u32,
+    }
+
+    impl crate::driver::Driver for RetryProbe {
+        fn on_event(
+            &mut self,
+            _view: &crate::driver::SystemView,
+            event: &crate::driver::SysEvent,
+        ) -> Vec<Action> {
+            match event {
+                SysEvent::OperationFault(notice) => {
+                    self.faults_seen += 1;
+                    if self.retries_left > 0 {
+                        self.retries_left -= 1;
+                        vec![Action::SetVoltage(notice.requested())]
+                    } else {
+                        Vec::new()
+                    }
+                }
+                _ if !self.attempted => {
+                    self.attempted = true;
+                    vec![Action::SetVoltage(self.target)]
+                }
+                _ => Vec::new(),
+            }
+        }
+
+        fn name(&self) -> &str {
+            "retry-probe"
+        }
+    }
+
+    #[test]
+    fn voltage_faults_feed_back_as_operation_fault_events() {
+        use avfs_chip::fault::{FaultPlan, FaultRates};
+        let mut sys = xgene2_system();
+        sys.chip.set_fault_plan(Some(FaultPlan::new(
+            4,
+            FaultRates {
+                mailbox: 1.0,
+                ..FaultRates::ZERO
+            },
+        )));
+        let mut driver = RetryProbe {
+            target: avfs_chip::Millivolts::new(900),
+            attempted: false,
+            faults_seen: 0,
+            retries_left: 3,
+        };
+        let m = sys.run(&tiny_trace(), &mut driver);
+        // The initial attempt and all three retries each produced a
+        // fault notice; the run still completed at nominal voltage.
+        assert_eq!(driver.faults_seen, 4);
+        assert_eq!(m.completed.len(), 1);
+        assert_eq!(sys.chip().voltage(), sys.chip().nominal_voltage());
+        assert!(sys.chip().fault_stats().mailbox_total() >= 4);
+    }
+
+    #[test]
+    fn fault_feedback_terminates_against_an_unbounded_retrier() {
+        use avfs_chip::fault::{FaultPlan, FaultRates};
+        let mut sys = xgene2_system();
+        sys.chip.set_fault_plan(Some(FaultPlan::new(
+            4,
+            FaultRates {
+                mailbox: 1.0,
+                ..FaultRates::ZERO
+            },
+        )));
+        let mut driver = RetryProbe {
+            target: avfs_chip::Millivolts::new(900),
+            attempted: false,
+            faults_seen: 0,
+            retries_left: u32::MAX,
+        };
+        let m = sys.run(&tiny_trace(), &mut driver);
+        // The per-event round bound cut the infinite retry ladder.
+        assert_eq!(m.completed.len(), 1);
+        assert!(driver.faults_seen <= FAULT_FEEDBACK_ROUNDS as u64 + 1);
+    }
+
+    #[test]
+    fn hung_migration_is_cancellable_by_repin() {
+        use avfs_chip::fault::{FaultPlan, FaultRates};
+        let mut sys = xgene2_system();
+        let pid = sys.submit(Benchmark::SpecNamd, 1, 0.5);
+        let first: CoreSet = [0u16].iter().map(|&i| CoreId::new(i)).collect();
+        let second: CoreSet = [2u16].iter().map(|&i| CoreId::new(i)).collect();
+        assert!(sys.pin_process(pid, first));
+        sys.chip.set_fault_plan(Some(FaultPlan::new(
+            3,
+            FaultRates {
+                migration: 1.0,
+                ..FaultRates::ZERO
+            },
+        )));
+        // The migration hangs: the stall end sits far in the future and
+        // the driver view surfaces it.
+        assert!(sys.pin_process(pid, second));
+        let stall = sys.procs[&pid].stalled_until;
+        assert!(stall.saturating_since(sys.now) > SimDuration::from_secs(1_000));
+        let view = sys.view();
+        assert_eq!(view.process(pid).and_then(|p| p.stalled_until), Some(stall));
+        assert_eq!(sys.chip().fault_stats().migration_hangs, 1);
+        // Re-pinning the same cores (the watchdog's rescue) restarts the
+        // migration with the normal pause.
+        assert!(sys.pin_process(pid, second));
+        let rescued = sys.procs[&pid].stalled_until;
+        assert!(rescued.saturating_since(sys.now) <= sys.config.migration_pause);
+    }
+
+    #[test]
+    fn initial_placement_never_hangs() {
+        use avfs_chip::fault::{FaultPlan, FaultRates};
+        let mut sys = xgene2_system();
+        sys.chip.set_fault_plan(Some(FaultPlan::new(
+            3,
+            FaultRates {
+                migration: 1.0,
+                ..FaultRates::ZERO
+            },
+        )));
+        // Kernel admission pins a waiting process; at 100% migration
+        // fault rate the run must still complete (placement is not a
+        // migration).
+        let m = sys.run(&tiny_trace(), &mut DefaultPolicy::ondemand());
+        assert_eq!(m.completed.len(), 1);
+        assert_eq!(sys.chip().fault_stats().migration_hangs, 0);
+    }
+
+    #[test]
+    fn armed_zero_rate_plan_is_bit_identical_to_no_plan() {
+        use avfs_chip::fault::FaultPlan;
+        let trace = small_trace(11);
+        let plain = xgene2_system().run(&trace, &mut DefaultPolicy::ondemand());
+        let mut armed_sys = xgene2_system();
+        armed_sys
+            .chip
+            .set_fault_plan(Some(FaultPlan::uniform(99, 0.0)));
+        let armed = armed_sys.run(&trace, &mut DefaultPolicy::ondemand());
+        assert_eq!(plain.energy_j.to_bits(), armed.energy_j.to_bits());
+        assert_eq!(plain.makespan, armed.makespan);
+        assert_eq!(plain.completed.len(), armed.completed.len());
     }
 
     #[test]

@@ -26,10 +26,16 @@ cargo run -q -p avfs-analyze -- invariants
 echo "==> avfs-analyze lint"
 cargo run -q -p avfs-analyze -- lint
 
-echo "==> avfs-analyze race (128 schedules)"
-cargo run -q -p avfs-analyze -- race --schedules 128
+echo "==> avfs-analyze race (160 schedules, fault-free)"
+cargo run -q -p avfs-analyze -- race --schedules 160
+
+echo "==> avfs-analyze race (96 schedules, 10% fault rate)"
+cargo run -q -p avfs-analyze -- race --schedules 96 --seed 4195287042 --fault-rate 0.10
 
 echo "==> cargo test"
 cargo test -q --workspace
+
+echo "==> resilience smoke soak (seeded fault injection)"
+cargo run -q --release -p avfs-experiments --bin exp -- resilience --smoke > /dev/null
 
 echo "All checks passed."
