@@ -11,7 +11,10 @@
 //!   the simulation clock (channels and OS threads are fine, sleeping is
 //!   not);
 //! * truncating `as` casts near voltage/frequency identifiers — silently
-//!   wrapping a millivolt or MHz value corrupts safety margins.
+//!   wrapping a millivolt or MHz value corrupts safety margins;
+//! * raw integer unit parameters (`mv: u32`, `mhz: u64`) in function
+//!   signatures — the `Millivolts`/`FrequencyMhz` newtypes exist so unit
+//!   mix-ups fail to compile instead of corrupting a rail request.
 //!
 //! Existing occurrences are frozen in `crates/analyze/lint-allowlist.txt`
 //! (a ratchet: counts may only go down); anything above the allowlisted
@@ -134,6 +137,20 @@ fn narrowing_cast_matcher(line: &str) -> usize {
         .sum()
 }
 
+/// Flags function signatures that take voltage/frequency quantities as
+/// raw integers instead of the unit newtypes. Only single-line `fn `
+/// signatures are examined — a heuristic, but new API surface in this
+/// workspace overwhelmingly fits on one line.
+fn raw_unit_param_matcher(line: &str) -> usize {
+    if !line.contains("fn ") {
+        return 0;
+    }
+    ["mv: u32", "mv: u64", "mhz: u32", "mhz: u64"]
+        .iter()
+        .map(|p| count_occurrences(line, p))
+        .sum()
+}
+
 /// The rule set, in report order.
 pub fn rules() -> Vec<Rule> {
     vec![
@@ -161,6 +178,11 @@ pub fn rules() -> Vec<Rule> {
             name: "narrowing-cast",
             rationale: "truncating cast on a voltage/frequency quantity",
             matcher: narrowing_cast_matcher,
+        },
+        Rule {
+            name: "raw-unit-param",
+            rationale: "raw integer unit parameter instead of a unit newtype",
+            matcher: raw_unit_param_matcher,
         },
     ]
 }
@@ -407,6 +429,16 @@ mod tests {
         let findings = scan_source(&rules(), "lib.rs", src);
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert_eq!(findings[0].rule, "narrowing-cast");
+    }
+
+    #[test]
+    fn raw_unit_params_fire_on_fn_lines_only() {
+        let src = "pub fn set(mv: u32) {}\nstruct S { margin_mv: u32 }\nfn freq(mhz: u64) {}\n";
+        let findings = scan_source(&rules(), "lib.rs", src);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().all(|f| f.rule == "raw-unit-param"));
+        assert_eq!(findings[0].line, 1);
+        assert_eq!(findings[1].line, 3);
     }
 
     #[test]

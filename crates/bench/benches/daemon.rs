@@ -107,6 +107,19 @@ fn bench_daemon_replan(c: &mut Criterion) {
         let _ = daemon.on_event(&view, &SysEvent::MonitorTick);
         b.iter(|| black_box(daemon.on_event(&view, &SysEvent::ProcessFinished(Pid(999)))))
     });
+    // The same hot path with a hub observer attached: the difference to
+    // the null-path number above is the full telemetry cost (lock +
+    // registries + journal); `tests/observer_guard.rs` asserts the null
+    // path stays within noise of an uninstrumented-equivalent loop.
+    c.bench_function("daemon/replan_32_processes_hub", |b| {
+        let mut daemon = Daemon::with_observer(
+            &chip,
+            Daemon::optimal(&chip).config().clone(),
+            avfs_telemetry::Telemetry::hub(),
+        );
+        let _ = daemon.on_event(&view, &SysEvent::MonitorTick);
+        b.iter(|| black_box(daemon.on_event(&view, &SysEvent::ProcessFinished(Pid(999)))))
+    });
 }
 
 fn bench_workload_generation(c: &mut Criterion) {

@@ -17,6 +17,7 @@ use crate::slimpro::{MailboxRequest, MailboxResponse, MailboxStats};
 use crate::topology::{ChipSpec, CoreSet, PmdId};
 use crate::vmin::{VminModel, VminQuery};
 use crate::voltage::{Millivolts, VoltageRail};
+use avfs_telemetry::{Telemetry, TraceKind, Value};
 
 /// A fully assembled chip instance.
 #[derive(Debug, Clone)]
@@ -37,6 +38,11 @@ pub struct Chip {
     /// every operation exactly as reliable as before the fault layer
     /// existed.
     fault: Option<FaultPlan>,
+    /// Observer handle for the mailbox/fault paths. Null (one branch,
+    /// no observer) unless installed via [`Chip::set_telemetry`]. The
+    /// chip owns no clock, so event timestamps come from whoever last
+    /// called `Telemetry::advance_to` on the shared hub (the scheduler).
+    telemetry: Telemetry,
 }
 
 impl Chip {
@@ -69,7 +75,19 @@ impl Chip {
             mailbox_stats: MailboxStats::default(),
             last_sensor_mw: 0,
             fault: None,
+            telemetry: Telemetry::null(),
         }
+    }
+
+    /// Installs a telemetry handle; the mailbox and fault paths report
+    /// through it from then on.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The installed telemetry handle (null by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Arms (or disarms) a fault-injection plan. The plan draws from its
@@ -195,7 +213,7 @@ impl Chip {
     ///
     /// Returns [`ChipError::InvalidPmd`] for out-of-range PMDs.
     pub fn pmd_frequency(&self, pmd: PmdId) -> Result<FrequencyMhz, ChipError> {
-        Ok(self.pmd_freq_step(pmd)?.frequency(self.spec.fmax_mhz))
+        Ok(self.pmd_freq_step(pmd)?.frequency(self.spec.fmax()))
     }
 
     /// The frequency-class of the rail requirement given which PMDs are
@@ -241,20 +259,45 @@ impl Chip {
     /// (retries must be idempotent, and the daemon's are).
     pub fn mailbox(&mut self, req: MailboxRequest) -> MailboxResponse {
         self.mailbox_stats.requests += 1;
+        let op = mailbox_op_label(&req);
+        self.telemetry.counter_inc("chip.mailbox.requests");
+        self.telemetry
+            .trace(TraceKind::MailboxCall, || vec![("op", Value::Str(op))]);
         match self.fault.as_mut().and_then(FaultPlan::sample_mailbox) {
             Some(MailboxFault::Refuse) => {
                 self.mailbox_stats.refusals += 1;
+                self.telemetry.counter_inc("chip.mailbox.injected_refusals");
+                self.telemetry.trace(TraceKind::MailboxFault, || {
+                    vec![
+                        ("op", Value::Str(op)),
+                        ("fault", Value::Str("injected_refuse")),
+                    ]
+                });
                 return MailboxResponse::Refused {
                     reason: "injected fault: management processor busy".to_string(),
                 };
             }
             Some(MailboxFault::Drop) => {
                 self.mailbox_stats.drops += 1;
+                self.telemetry.counter_inc("chip.mailbox.injected_drops");
+                self.telemetry.trace(TraceKind::MailboxFault, || {
+                    vec![
+                        ("op", Value::Str(op)),
+                        ("fault", Value::Str("injected_drop")),
+                    ]
+                });
                 return MailboxResponse::Dropped;
             }
             Some(MailboxFault::LatencySpike) => {
                 // Apply the request, then lose the response.
                 self.mailbox_stats.drops += 1;
+                self.telemetry.counter_inc("chip.mailbox.injected_drops");
+                self.telemetry.trace(TraceKind::MailboxFault, || {
+                    vec![
+                        ("op", Value::Str(op)),
+                        ("fault", Value::Str("injected_latency_spike")),
+                    ]
+                });
                 let _ = self.mailbox_apply(req);
                 return MailboxResponse::Dropped;
             }
@@ -269,12 +312,21 @@ impl Chip {
             MailboxRequest::SetVoltage(mv) => match self.rail.set(mv) {
                 Ok(()) => {
                     self.mailbox_stats.voltage_changes += 1;
+                    self.telemetry.counter_inc("chip.mailbox.voltage_sets");
                     MailboxResponse::VoltageSet(mv)
                 }
-                Err((min, max)) => {
+                Err(e) => {
                     self.mailbox_stats.refusals += 1;
+                    self.telemetry.counter_inc("chip.mailbox.window_refusals");
+                    self.telemetry.trace(TraceKind::MailboxFault, || {
+                        vec![
+                            ("op", Value::Str("set_voltage")),
+                            ("fault", Value::Str("window_refused")),
+                            ("requested_mv", Value::U64(u64::from(mv.as_mv()))),
+                        ]
+                    });
                     MailboxResponse::Refused {
-                        reason: format!("voltage {mv} outside [{min}, {max}]"),
+                        reason: e.to_string(),
                     }
                 }
             },
@@ -296,7 +348,7 @@ impl Chip {
     ///
     /// # Errors
     ///
-    /// Returns [`ChipError::VoltageOutOfRange`] if the request is outside
+    /// Returns [`ChipError::VoltageOutOfWindow`] if the request is outside
     /// the regulated window (a caller bug — retrying cannot help),
     /// [`ChipError::MailboxRefused`] if an in-range request was refused
     /// (transient — retry may succeed), and [`ChipError::MailboxDropped`]
@@ -309,10 +361,10 @@ impl Chip {
             MailboxResponse::Refused { reason } if in_range => {
                 Err(ChipError::MailboxRefused { reason })
             }
-            _ => Err(ChipError::VoltageOutOfRange {
+            _ => Err(ChipError::VoltageOutOfWindow {
                 requested: mv,
-                min: self.rail.floor(),
-                max: self.rail.nominal(),
+                floor: self.rail.floor(),
+                nominal: self.rail.nominal(),
             }),
         }
     }
@@ -322,6 +374,16 @@ impl Chip {
         let w = self.power.power_w(inputs);
         self.last_sensor_mw = (w * 1_000.0).round() as u64;
         w
+    }
+}
+
+/// Stable label for a mailbox request, used in trace events.
+fn mailbox_op_label(req: &MailboxRequest) -> &'static str {
+    match req {
+        MailboxRequest::SetVoltage(_) => "set_voltage",
+        MailboxRequest::GetVoltage => "get_voltage",
+        MailboxRequest::ReadPowerSensor => "read_power_sensor",
+        MailboxRequest::GetFirmwareInfo => "get_firmware_info",
     }
 }
 
@@ -462,7 +524,7 @@ mod tests {
         let mut clean = presets::xgene3().build();
         assert!(matches!(
             clean.set_voltage(Millivolts::new(1_000)),
-            Err(ChipError::VoltageOutOfRange { .. })
+            Err(ChipError::VoltageOutOfWindow { .. })
         ));
     }
 

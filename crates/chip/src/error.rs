@@ -13,14 +13,14 @@ pub enum ChipError {
     InvalidCore(CoreId),
     /// A PMD index beyond the chip's PMD count.
     InvalidPmd(PmdId),
-    /// A requested voltage outside the rail's regulated range.
-    VoltageOutOfRange {
+    /// A requested voltage outside the rail's regulated window.
+    VoltageOutOfWindow {
         /// The rejected request.
         requested: Millivolts,
         /// The lowest voltage the regulator can produce.
-        min: Millivolts,
+        floor: Millivolts,
         /// The highest voltage the regulator can produce (the nominal).
-        max: Millivolts,
+        nominal: Millivolts,
     },
     /// A frequency request that does not map onto a 1/8-of-fmax step.
     InvalidFreqStep(u8),
@@ -28,7 +28,7 @@ pub enum ChipError {
     UnknownMailboxCommand(u8),
     /// The SLIMpro mailbox refused an otherwise valid request (e.g. the
     /// management processor was busy). Distinct from
-    /// [`ChipError::VoltageOutOfRange`]: the request could have been
+    /// [`ChipError::VoltageOutOfWindow`]: the request could have been
     /// honoured and a retry may succeed.
     MailboxRefused {
         /// The refusal reason reported by the management processor.
@@ -45,13 +45,13 @@ impl fmt::Display for ChipError {
         match self {
             ChipError::InvalidCore(c) => write!(f, "core {c} does not exist on this chip"),
             ChipError::InvalidPmd(p) => write!(f, "PMD {p} does not exist on this chip"),
-            ChipError::VoltageOutOfRange {
+            ChipError::VoltageOutOfWindow {
                 requested,
-                min,
-                max,
+                floor,
+                nominal,
             } => write!(
                 f,
-                "requested voltage {requested} outside regulated range [{min}, {max}]"
+                "requested voltage {requested} outside regulated window [{floor}, {nominal}]"
             ),
             ChipError::InvalidFreqStep(s) => {
                 write!(f, "frequency step {s} is not in the valid range 1..=8")
@@ -77,10 +77,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = ChipError::VoltageOutOfRange {
+        let e = ChipError::VoltageOutOfWindow {
             requested: Millivolts::new(1200),
-            min: Millivolts::new(700),
-            max: Millivolts::new(980),
+            floor: Millivolts::new(700),
+            nominal: Millivolts::new(980),
         };
         let s = e.to_string();
         assert!(s.contains("1200"));

@@ -103,8 +103,8 @@ impl FreqStep {
     }
 
     /// The requested frequency for a chip with the given fmax.
-    pub fn frequency(self, fmax_mhz: u32) -> FrequencyMhz {
-        FrequencyMhz::new(fmax_mhz * self.0 as u32 / 8)
+    pub fn frequency(self, fmax: FrequencyMhz) -> FrequencyMhz {
+        FrequencyMhz::new(fmax.as_mhz() * self.0 as u32 / 8)
     }
 
     /// The ratio `step/8` as a float.
@@ -137,12 +137,12 @@ impl FreqStep {
         next
     }
 
-    /// The step nearest to `target_mhz` for a chip with the given fmax,
+    /// The step nearest to `target` for a chip with the given fmax,
     /// rounding up so that the delivered frequency is at least the target
     /// where possible.
-    pub fn nearest_at_least(target_mhz: u32, fmax_mhz: u32) -> FreqStep {
+    pub fn nearest_at_least(target: FrequencyMhz, fmax: FrequencyMhz) -> FreqStep {
         for step in Self::all() {
-            if step.frequency(fmax_mhz).as_mhz() >= target_mhz {
+            if step.frequency(fmax) >= target {
                 return step;
             }
         }
@@ -246,7 +246,7 @@ mod tests {
     fn step_frequencies_on_xgene2() {
         // fmax = 2400: steps are multiples of 300 MHz, as in the paper.
         let freqs: Vec<u32> = FreqStep::all()
-            .map(|s| s.frequency(2400).as_mhz())
+            .map(|s| s.frequency(FrequencyMhz::new(2400)).as_mhz())
             .collect();
         assert_eq!(freqs, vec![300, 600, 900, 1200, 1500, 1800, 2100, 2400]);
     }
@@ -254,9 +254,10 @@ mod tests {
     #[test]
     fn step_frequencies_on_xgene3() {
         // fmax = 3000: 375 MHz granularity.
-        assert_eq!(FreqStep::MIN.frequency(3000).as_mhz(), 375);
-        assert_eq!(FreqStep::HALF.frequency(3000).as_mhz(), 1500);
-        assert_eq!(FreqStep::MAX.frequency(3000).as_mhz(), 3000);
+        let fmax = FrequencyMhz::new(3000);
+        assert_eq!(FreqStep::MIN.frequency(fmax).as_mhz(), 375);
+        assert_eq!(FreqStep::HALF.frequency(fmax).as_mhz(), 1500);
+        assert_eq!(FreqStep::MAX.frequency(fmax).as_mhz(), 3000);
     }
 
     #[test]
@@ -269,12 +270,22 @@ mod tests {
 
     #[test]
     fn nearest_at_least_rounds_up() {
+        let fmax = FrequencyMhz::new(2400);
         // 1000 MHz on a 2400 MHz chip needs step 4 (1200 MHz).
-        assert_eq!(FreqStep::nearest_at_least(1000, 2400).numerator(), 4);
+        assert_eq!(
+            FreqStep::nearest_at_least(FrequencyMhz::new(1000), fmax).numerator(),
+            4
+        );
         // Exactly 1200 also picks step 4.
-        assert_eq!(FreqStep::nearest_at_least(1200, 2400).numerator(), 4);
+        assert_eq!(
+            FreqStep::nearest_at_least(FrequencyMhz::new(1200), fmax).numerator(),
+            4
+        );
         // Anything above fmax saturates at 8/8.
-        assert_eq!(FreqStep::nearest_at_least(99_999, 2400), FreqStep::MAX);
+        assert_eq!(
+            FreqStep::nearest_at_least(FrequencyMhz::new(99_999), fmax),
+            FreqStep::MAX
+        );
     }
 
     #[test]

@@ -20,7 +20,7 @@
 
 use crate::chip::Chip;
 use crate::error::ChipError;
-use crate::freq::FreqStep;
+use crate::freq::{FreqStep, FrequencyMhz};
 use crate::slimpro::{MailboxRequest, MailboxResponse};
 use crate::topology::CoreId;
 use crate::voltage::Millivolts;
@@ -151,7 +151,7 @@ pub fn write(chip: &mut Chip, path: &str, value: &str) -> Result<(), SysfsError>
             if mhz == 0 || mhz > chip.spec().fmax_mhz {
                 return Err(SysfsError::InvalidValue(format!("{khz} kHz out of range")));
             }
-            let step = FreqStep::nearest_at_least(mhz, chip.spec().fmax_mhz);
+            let step = FreqStep::nearest_at_least(FrequencyMhz::new(mhz), chip.spec().fmax());
             let pmd = chip.spec().pmd_of(core);
             chip.set_pmd_freq_step(pmd, step)?;
             Ok(())

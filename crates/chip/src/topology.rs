@@ -7,6 +7,7 @@
 //! granularities are the entire reason the paper's core-allocation policy
 //! exists, so they are first-class here.
 
+use crate::freq::FrequencyMhz;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -122,6 +123,11 @@ impl ChipSpec {
     /// Number of PMDs on the chip.
     pub fn pmds(&self) -> u16 {
         self.cores / self.cores_per_pmd
+    }
+
+    /// The maximum core clock as a typed frequency.
+    pub fn fmax(&self) -> FrequencyMhz {
+        FrequencyMhz::new(self.fmax_mhz)
     }
 
     /// The PMD that owns `core`.

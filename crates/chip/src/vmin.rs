@@ -265,7 +265,7 @@ impl VminModel {
     /// The voltage below which execution is certain to fail (the bottom of
     /// the unsafe region / "system crash point").
     pub fn crash_point(&self, safe: Millivolts) -> Millivolts {
-        safe.saturating_sub(self.tables.unsafe_span_mv)
+        safe.saturating_sub(Millivolts::new(self.tables.unsafe_span_mv))
     }
 
     /// The droop class of an allocation utilizing `utilized_pmds` PMDs.

@@ -1,5 +1,6 @@
 //! Voltage newtype and the regulated PCP rail.
 
+use crate::error::ChipError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Sub};
@@ -37,8 +38,8 @@ impl Millivolts {
     }
 
     /// Subtracts, saturating at zero.
-    pub fn saturating_sub(self, mv: u32) -> Millivolts {
-        Millivolts(self.0.saturating_sub(mv))
+    pub fn saturating_sub(self, mv: Millivolts) -> Millivolts {
+        Millivolts(self.0.saturating_sub(mv.0))
     }
 
     /// Adds an offset that may be negative, saturating at zero.
@@ -132,11 +133,16 @@ impl VoltageRail {
     ///
     /// # Errors
     ///
-    /// Returns the allowed range if `mv` is outside `[floor, nominal]`.
-    /// Like the real SLIMpro, the rail refuses to go *above* nominal.
-    pub fn set(&mut self, mv: Millivolts) -> Result<(), (Millivolts, Millivolts)> {
+    /// Returns [`ChipError::VoltageOutOfWindow`] (carrying the allowed
+    /// window) if `mv` is outside `[floor, nominal]`. Like the real
+    /// SLIMpro, the rail refuses to go *above* nominal.
+    pub fn set(&mut self, mv: Millivolts) -> Result<(), ChipError> {
         if mv < self.floor || mv > self.nominal {
-            return Err((self.floor, self.nominal));
+            return Err(ChipError::VoltageOutOfWindow {
+                requested: mv,
+                floor: self.floor,
+                nominal: self.nominal,
+            });
         }
         self.current = mv;
         debug_assert!(
@@ -172,7 +178,12 @@ mod tests {
         let v = Millivolts::new(800);
         assert_eq!(v.offset(-50).as_mv(), 750);
         assert_eq!(v.offset(20).as_mv(), 820);
-        assert_eq!(Millivolts::new(10).saturating_sub(20).as_mv(), 0);
+        assert_eq!(
+            Millivolts::new(10)
+                .saturating_sub(Millivolts::new(20))
+                .as_mv(),
+            0
+        );
     }
 
     #[test]

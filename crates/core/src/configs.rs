@@ -11,6 +11,7 @@
 use crate::daemon::Daemon;
 use avfs_chip::chip::Chip;
 use avfs_sched::driver::{DefaultPolicy, Driver};
+use avfs_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -38,11 +39,22 @@ impl EvalConfig {
 
     /// Builds the driver implementing this configuration for `chip`.
     pub fn driver(self, chip: &Chip) -> Box<dyn Driver> {
+        self.driver_with_observer(chip, Telemetry::null())
+    }
+
+    /// Builds the driver with a telemetry handle installed. The baseline
+    /// policy makes no decisions worth tracing, so it ignores the
+    /// observer; the three daemon configurations report through it.
+    pub fn driver_with_observer(self, chip: &Chip, telemetry: Telemetry) -> Box<dyn Driver> {
+        let with = |mut d: Daemon| {
+            d.set_telemetry(telemetry.clone());
+            Box::new(d) as Box<dyn Driver>
+        };
         match self {
             EvalConfig::Baseline => Box::new(DefaultPolicy::ondemand()),
-            EvalConfig::SafeVmin => Box::new(Daemon::safe_vmin_only(chip)),
-            EvalConfig::Placement => Box::new(Daemon::placement_only(chip)),
-            EvalConfig::Optimal => Box::new(Daemon::optimal(chip)),
+            EvalConfig::SafeVmin => with(Daemon::safe_vmin_only(chip)),
+            EvalConfig::Placement => with(Daemon::placement_only(chip)),
+            EvalConfig::Optimal => with(Daemon::optimal(chip)),
         }
     }
 

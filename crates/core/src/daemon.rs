@@ -28,8 +28,10 @@ use avfs_chip::topology::{ChipSpec, CoreSet, PmdId};
 use avfs_sched::driver::{Action, Driver, SysEvent, SystemView};
 use avfs_sched::governor::GovernorMode;
 use avfs_sched::process::{Pid, ProcessState};
+use avfs_telemetry::{CounterRegistry, Telemetry, TraceKind, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// Daemon tuning knobs; the constructors on [`Daemon`] pick the paper's
 /// values per chip.
@@ -59,7 +61,49 @@ pub struct DaemonConfig {
     pub recovery: RecoveryConfig,
 }
 
+/// Metric names of the daemon's counter registry, in slot order (the
+/// same names appear in a shared `TelemetryHub` when one is attached,
+/// so external tooling can key on them).
+pub const DAEMON_COUNTERS: [&str; 13] = [
+    "daemon.invocations",
+    "daemon.plans",
+    "daemon.pins",
+    "daemon.voltage_raises",
+    "daemon.voltage_lowers",
+    "daemon.deferred_pins",
+    "daemon.mailbox_faults",
+    "daemon.retries",
+    "daemon.backoff_us",
+    "daemon.safe_mode_entries",
+    "daemon.safe_mode_exits",
+    "daemon.watchdog_fires",
+    "daemon.droop_emergencies",
+];
+
+/// Registry slots, one per [`DAEMON_COUNTERS`] name.
+#[derive(Debug, Clone, Copy)]
+enum Dc {
+    Invocations = 0,
+    Plans,
+    Pins,
+    VoltageRaises,
+    VoltageLowers,
+    DeferredPins,
+    MailboxFaults,
+    Retries,
+    BackoffUs,
+    SafeModeEntries,
+    SafeModeExits,
+    WatchdogFires,
+    DroopEmergencies,
+}
+
 /// Counters describing what the daemon has done.
+///
+/// Since the telemetry redesign this is a point-in-time *snapshot*
+/// derived from the daemon's metrics registry (see [`Daemon::stats`]),
+/// not a hand-maintained struct — every field mirrors one
+/// [`DAEMON_COUNTERS`] slot.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DaemonStats {
     /// Driver invocations.
@@ -90,6 +134,32 @@ pub struct DaemonStats {
     pub droop_emergencies: u64,
 }
 
+impl fmt::Display for DaemonStats {
+    /// One `key=value` line in [`DAEMON_COUNTERS`] order — greppable in
+    /// logs and stable across runs with equal counters.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invocations={} plans={} pins={} voltage_raises={} voltage_lowers={} \
+             deferred_pins={} mailbox_faults={} retries={} backoff_us={} \
+             safe_mode_entries={} safe_mode_exits={} watchdog_fires={} droop_emergencies={}",
+            self.invocations,
+            self.plans,
+            self.pins,
+            self.voltage_raises,
+            self.voltage_lowers,
+            self.deferred_pins,
+            self.mailbox_faults,
+            self.retries,
+            self.backoff_us,
+            self.safe_mode_entries,
+            self.safe_mode_exits,
+            self.watchdog_fires,
+            self.droop_emergencies
+        )
+    }
+}
+
 /// The online monitoring + placement daemon.
 #[derive(Debug, Clone)]
 pub struct Daemon {
@@ -99,16 +169,27 @@ pub struct Daemon {
     config: DaemonConfig,
     tracker: ClassTracker,
     initialized: bool,
-    stats: DaemonStats,
+    registry: CounterRegistry,
+    telemetry: Telemetry,
     recovery: Recovery,
     droop_guard: bool,
     name: String,
 }
 
 impl Daemon {
-    /// Builds a daemon for `chip` with explicit knobs. The policy table
-    /// is produced by the characterization procedure of [`PolicyTable`].
+    /// Builds a daemon for `chip` with explicit knobs and no observer
+    /// attached. The policy table is produced by the characterization
+    /// procedure of [`PolicyTable`].
     pub fn new(chip: &Chip, config: DaemonConfig) -> Self {
+        Daemon::with_observer(chip, config, Telemetry::null())
+    }
+
+    /// Builds a daemon that reports its decisions through `telemetry`.
+    /// The daemon owns its counter registry either way; the observer
+    /// additionally receives counter mirrors and span-style trace events
+    /// for every decision point (replans, recovery transitions, the
+    /// droop guard, the migration watchdog).
+    pub fn with_observer(chip: &Chip, config: DaemonConfig, telemetry: Telemetry) -> Self {
         let name = match (config.control_placement, config.control_voltage) {
             (true, true) => "optimal",
             (true, false) => "placement",
@@ -123,7 +204,8 @@ impl Daemon {
             config,
             tracker: ClassTracker::new(),
             initialized: false,
-            stats: DaemonStats::default(),
+            registry: CounterRegistry::new(&DAEMON_COUNTERS),
+            telemetry,
             recovery,
             droop_guard: false,
             name: name.to_string(),
@@ -177,9 +259,46 @@ impl Daemon {
         d
     }
 
-    /// Activity counters.
+    /// Activity counters, snapshotted from the metrics registry.
     pub fn stats(&self) -> DaemonStats {
-        self.stats
+        DaemonStats {
+            invocations: self.registry.get(Dc::Invocations as usize),
+            plans: self.registry.get(Dc::Plans as usize),
+            pins: self.registry.get(Dc::Pins as usize),
+            voltage_raises: self.registry.get(Dc::VoltageRaises as usize),
+            voltage_lowers: self.registry.get(Dc::VoltageLowers as usize),
+            deferred_pins: self.registry.get(Dc::DeferredPins as usize),
+            mailbox_faults: self.registry.get(Dc::MailboxFaults as usize),
+            retries: self.registry.get(Dc::Retries as usize),
+            backoff_us: self.registry.get(Dc::BackoffUs as usize),
+            safe_mode_entries: self.registry.get(Dc::SafeModeEntries as usize),
+            safe_mode_exits: self.registry.get(Dc::SafeModeExits as usize),
+            watchdog_fires: self.registry.get(Dc::WatchdogFires as usize),
+            droop_emergencies: self.registry.get(Dc::DroopEmergencies as usize),
+        }
+    }
+
+    /// Installs (or replaces) the telemetry handle.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The telemetry handle in use (null unless an observer was
+    /// attached).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Adds `delta` to one registry slot and mirrors it to the observer.
+    fn count(&mut self, c: Dc, delta: u64) {
+        let idx = c as usize;
+        self.registry.add(idx, delta);
+        self.telemetry.counter_add(DAEMON_COUNTERS[idx], delta);
+    }
+
+    /// Increments one registry slot.
+    fn bump(&mut self, c: Dc) {
+        self.count(c, 1);
     }
 
     /// Where the fault-recovery machine currently stands.
@@ -325,7 +444,7 @@ impl Daemon {
 
             if self.config.fail_safe_ordering && transition_v > view.voltage {
                 actions.push(Action::SetVoltage(transition_v));
-                self.stats.voltage_raises += 1;
+                self.bump(Dc::VoltageRaises);
             }
 
             self.push_reconfig(&mut actions, view, &pins, &new_steps);
@@ -341,9 +460,9 @@ impl Daemon {
             {
                 actions.push(Action::SetVoltage(final_v));
                 if final_v < settle_from {
-                    self.stats.voltage_lowers += 1;
+                    self.bump(Dc::VoltageLowers);
                 } else {
-                    self.stats.voltage_raises += 1;
+                    self.bump(Dc::VoltageRaises);
                 }
             }
         } else {
@@ -351,7 +470,17 @@ impl Daemon {
         }
 
         if !actions.is_empty() {
-            self.stats.plans += 1;
+            self.bump(Dc::Plans);
+            let n_actions = actions.len();
+            let recovery = self.recovery.state().as_str();
+            let droop_guard = self.droop_guard;
+            self.telemetry.trace(TraceKind::Replan, || {
+                vec![
+                    ("actions", Value::from(n_actions)),
+                    ("recovery", Value::from(recovery)),
+                    ("droop_guard", Value::from(droop_guard)),
+                ]
+            });
         }
         actions
     }
@@ -376,7 +505,7 @@ impl Daemon {
         }
         for &(pid, cores) in pins {
             actions.push(Action::PinProcess(pid, cores));
-            self.stats.pins += 1;
+            self.bump(Dc::Pins);
         }
     }
 
@@ -401,9 +530,9 @@ impl Daemon {
             return Vec::new();
         }
         if target > view.voltage {
-            self.stats.voltage_raises += 1;
+            self.bump(Dc::VoltageRaises);
         } else {
-            self.stats.voltage_lowers += 1;
+            self.bump(Dc::VoltageLowers);
         }
         vec![Action::SetVoltage(target)]
     }
@@ -450,7 +579,7 @@ impl Daemon {
                 break;
             }
         }
-        self.stats.deferred_pins += pending.len() as u64;
+        self.count(Dc::DeferredPins, pending.len() as u64);
         ordered
     }
 
@@ -464,7 +593,7 @@ impl Daemon {
         let mut actions = Vec::new();
         if self.config.control_voltage && view.voltage < self.table.nominal() {
             actions.push(Action::SetVoltage(self.table.nominal()));
-            self.stats.voltage_raises += 1;
+            self.bump(Dc::VoltageRaises);
         }
         actions
     }
@@ -479,8 +608,16 @@ impl Daemon {
         }
         self.droop_guard = view.droop_alert;
         if self.droop_guard {
-            self.stats.droop_emergencies += 1;
+            self.bump(Dc::DroopEmergencies);
         }
+        let engaged = self.droop_guard;
+        let margin_mv = self.margin_mv();
+        self.telemetry.trace(TraceKind::DroopGuard, || {
+            vec![
+                ("engaged", Value::from(engaged)),
+                ("margin_mv", Value::from(margin_mv)),
+            ]
+        });
         if self.config.control_voltage && !self.config.control_placement {
             let v = self
                 .table
@@ -489,9 +626,9 @@ impl Daemon {
                 .min(self.table.nominal());
             if v != view.voltage {
                 if v > view.voltage {
-                    self.stats.voltage_raises += 1;
+                    self.bump(Dc::VoltageRaises);
                 } else {
-                    self.stats.voltage_lowers += 1;
+                    self.bump(Dc::VoltageLowers);
                 }
                 actions.push(Action::SetVoltage(v));
             }
@@ -512,7 +649,15 @@ impl Daemon {
             if let Some(stall) = p.stalled_until {
                 if stall.saturating_since(view.now) > timeout {
                     actions.push(Action::PinProcess(p.pid, p.assigned));
-                    self.stats.watchdog_fires += 1;
+                    self.bump(Dc::WatchdogFires);
+                    let pid = p.pid.0;
+                    let stalled_ns = stall.as_nanos();
+                    self.telemetry.trace(TraceKind::Watchdog, || {
+                        vec![
+                            ("pid", Value::from(pid)),
+                            ("stalled_until_ns", Value::from(stalled_ns)),
+                        ]
+                    });
                 }
             }
         }
@@ -527,11 +672,16 @@ impl Daemon {
         view: &SystemView,
         notice: avfs_sched::driver::FaultNotice,
     ) -> Vec<Action> {
-        self.stats.mailbox_faults += 1;
-        match self.recovery.on_fault() {
+        self.bump(Dc::MailboxFaults);
+        let before = self.recovery.state();
+        let decision = self.recovery.on_fault();
+        self.trace_recovery_transition(before, "fault");
+        match decision {
             FaultDecision::Retry { backoff_us } => {
-                self.stats.retries += 1;
-                self.stats.backoff_us += backoff_us;
+                self.bump(Dc::Retries);
+                self.count(Dc::BackoffUs, backoff_us);
+                self.telemetry
+                    .histogram_observe("daemon.backoff_us", backoff_us);
                 if self.config.control_placement {
                     // A replan against the fresh view recomputes exactly
                     // the deltas the aborted batch left outstanding
@@ -545,17 +695,33 @@ impl Daemon {
                 }
             }
             FaultDecision::EnterSafeMode => {
-                self.stats.safe_mode_entries += 1;
+                self.bump(Dc::SafeModeEntries);
                 self.safe_mode_actions(view)
             }
             FaultDecision::HoldSafe => self.safe_mode_actions(view),
+        }
+    }
+
+    /// Emits a `RecoveryTransition` trace if the recovery machine moved
+    /// away from `before` (called right after feeding it an event).
+    fn trace_recovery_transition(&mut self, before: RecoveryState, cause: &'static str) {
+        let after = self.recovery.state();
+        if before != after {
+            self.telemetry.trace(TraceKind::RecoveryTransition, || {
+                vec![
+                    ("from", Value::from(before.as_str())),
+                    ("to", Value::from(after.as_str())),
+                    ("cause", Value::from(cause)),
+                ]
+            });
         }
     }
 }
 
 impl Driver for Daemon {
     fn on_event(&mut self, view: &SystemView, event: &SysEvent) -> Vec<Action> {
-        self.stats.invocations += 1;
+        self.telemetry.advance_to(view.now);
+        self.bump(Dc::Invocations);
         let mut actions = Vec::new();
         if !self.initialized {
             self.initialized = true;
@@ -575,7 +741,7 @@ impl Driver for Daemon {
                     .offset(self.margin_mv() as i32)
                     .min(self.table.nominal());
                 actions.push(Action::SetVoltage(v));
-                self.stats.voltage_lowers += 1;
+                self.bump(Dc::VoltageLowers);
             }
         }
         self.tracker.refresh(view);
@@ -586,9 +752,11 @@ impl Driver for Daemon {
         // Any non-fault event means the previous action batch applied
         // cleanly (faults are delivered synchronously) — feed the
         // recovery machine and pick up droop-alert changes.
+        let before = self.recovery.state();
         let exited_safe_mode = self.recovery.on_clean_event();
+        self.trace_recovery_transition(before, "clean_window");
         if exited_safe_mode {
-            self.stats.safe_mode_exits += 1;
+            self.bump(Dc::SafeModeExits);
         }
         let droop_changed = self.update_droop_guard(view, &mut actions);
         match event {
@@ -614,7 +782,9 @@ impl Driver for Daemon {
                     actions.extend(self.lazy_voltage_action(view));
                 }
             }
-            SysEvent::OperationFault(_) => unreachable!("handled above"),
+            // `OperationFault` returned above; `SysEvent` is
+            // non-exhaustive, so any future event kind is a no-op here.
+            _ => {}
         }
         actions
     }

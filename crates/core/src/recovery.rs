@@ -33,6 +33,7 @@
 use avfs_sim::rng::RngStream;
 use avfs_sim::time::SimDuration;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Tuning knobs for the recovery machinery.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -83,6 +84,23 @@ pub enum RecoveryState {
     /// Clean window observed in safe mode: still planning pessimistic
     /// voltages, watching for a relapse before resuming optimization.
     Probation,
+}
+
+impl RecoveryState {
+    /// Stable snake_case label used in telemetry traces and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RecoveryState::Optimized => "optimized",
+            RecoveryState::SafeMode => "safe_mode",
+            RecoveryState::Probation => "probation",
+        }
+    }
+}
+
+impl fmt::Display for RecoveryState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// What the daemon should do about one fault notice.

@@ -20,6 +20,7 @@
 
 use crate::daemon::Daemon;
 use avfs_sched::driver::{Action, Driver, SysEvent, SystemView};
+use avfs_telemetry::Telemetry;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -57,6 +58,21 @@ impl DaemonService {
             Ok(service) => service,
             Err(e) => panic!("failed to spawn the daemon worker thread: {e}"),
         }
+    }
+
+    /// Spawns the service with `telemetry` installed into the daemon
+    /// first, so decisions made on the worker thread report through the
+    /// observer. The `Telemetry` handle is `Send` and hub-backed handles
+    /// share one journal, so the caller can keep a clone and snapshot
+    /// while the service runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker thread cannot be created; use
+    /// [`DaemonService::try_spawn`] to handle that case.
+    pub fn spawn_with_observer(mut daemon: Daemon, telemetry: Telemetry) -> DaemonService {
+        daemon.set_telemetry(telemetry);
+        Self::spawn(daemon)
     }
 
     /// Spawns the service, surfacing thread-creation failure (resource

@@ -1,10 +1,11 @@
 //! Experiment runner: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! exp [--quick] [--smoke] [--csv DIR] [--seed N] <id>...
+//! exp [--quick] [--smoke] [--csv DIR] [--seed N] [--trace FILE] <id>...
 //! exp all                # every artifact
 //! exp table3 table4      # just the headline tables
 //! exp resilience --smoke # short seeded fault soak (CI gate)
+//! exp resilience --smoke --trace out.jsonl  # + trace journal & summary
 //! ```
 //!
 //! Artifact ids: `table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
@@ -14,13 +15,22 @@
 //! rate-0 anchor plus the 5% acceptance point on one machine; the
 //! resilience id exits nonzero if any run fails its acceptance checks
 //! (all jobs drained, safe end state, strictly positive savings).
+//!
+//! `--trace FILE` attaches a telemetry hub to the experiments that
+//! support it (`table3`, `table4`, `fig14`, `fig15`, `resilience`),
+//! writes the trace journal to FILE as JSONL — byte-identical across
+//! identical seeded invocations — and appends the `telemetry summary`
+//! tables (action mix, per-interval monitor summary, fault/recovery
+//! timeline) to the output. With several traced ids, the last one's
+//! journal wins the file; trace one id per invocation.
 
 use avfs_chip::vmin::DroopClass;
 use avfs_experiments::report::Table;
 use avfs_experiments::{
     ablations, characterization, droops, energy, factors, perfchar, resilience, server_eval,
-    tables, Machine, Scale,
+    tables, telemetry_report, Machine, Scale,
 };
+use avfs_telemetry::Telemetry;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -29,6 +39,7 @@ struct Options {
     csv_dir: Option<PathBuf>,
     seed: u64,
     smoke: bool,
+    trace: Option<PathBuf>,
     ids: Vec<String>,
 }
 
@@ -43,6 +54,7 @@ fn parse_args() -> Result<Options, String> {
         csv_dir: None,
         seed: 2024,
         smoke: false,
+        trace: None,
         ids: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -61,6 +73,10 @@ fn parse_args() -> Result<Options, String> {
                 let seed = args.next().ok_or("--seed needs a value")?;
                 opts.seed = seed.parse().map_err(|e| format!("bad seed: {e}"))?;
             }
+            "--trace" => {
+                let path = args.next().ok_or("--trace needs a file path")?;
+                opts.trace = Some(PathBuf::from(path));
+            }
             "all" => opts.ids.extend(
                 ALL_IDS
                     .iter()
@@ -69,7 +85,7 @@ fn parse_args() -> Result<Options, String> {
             ),
             "--help" | "-h" => {
                 println!(
-                    "usage: exp [--quick] [--smoke] [--csv DIR] [--seed N] <id>...\n  ids: {} ablations resilience all",
+                    "usage: exp [--quick] [--smoke] [--csv DIR] [--seed N] [--trace FILE] <id>...\n  ids: {} ablations resilience all",
                     ALL_IDS.join(" ")
                 );
                 std::process::exit(0);
@@ -97,9 +113,48 @@ fn emit(tables: Vec<Table>, csv_dir: &Option<PathBuf>) {
     }
 }
 
+/// Ids that accept a telemetry hub when `--trace` is given.
+const TRACED_IDS: [&str; 5] = ["table3", "table4", "fig14", "fig15", "resilience"];
+
+/// Runs `run` with a hub-backed telemetry handle when `--trace` is set
+/// (null otherwise); afterwards writes the JSONL journal and appends the
+/// `telemetry summary` tables.
+fn run_traced(
+    opts: &Options,
+    machine: Machine,
+    run: impl FnOnce(&Telemetry) -> Result<Vec<Table>, String>,
+) -> Result<Vec<Table>, String> {
+    let telemetry = match &opts.trace {
+        Some(_) => Telemetry::hub(),
+        None => Telemetry::null(),
+    };
+    let mut out = run(&telemetry)?;
+    if let Some(path) = &opts.trace {
+        let jsonl = telemetry.export_jsonl().unwrap_or_default();
+        std::fs::write(path, &jsonl)
+            .map_err(|e| format!("cannot write trace to {}: {e}", path.display()))?;
+        eprintln!(
+            "trace journal: {} events -> {}",
+            jsonl.lines().count(),
+            path.display()
+        );
+        if let Some(snapshot) = telemetry.snapshot() {
+            let journal: Vec<_> = telemetry
+                .with_hub(|h| h.journal().cloned().collect())
+                .unwrap_or_default();
+            let nominal = machine.chip_builder().build().nominal_voltage();
+            out.extend(telemetry_report::summary(&snapshot, &journal, nominal));
+        }
+    }
+    Ok(out)
+}
+
 fn run_id(id: &str, opts: &Options) -> Result<Vec<Table>, String> {
     let scale = opts.scale;
     let seed = opts.seed;
+    if opts.trace.is_some() && !TRACED_IDS.contains(&id) {
+        eprintln!("note: --trace has no effect for `{id}`");
+    }
     Ok(match id {
         "table1" => vec![tables::table1()],
         "table2" => vec![tables::table2(), tables::table2_policy()],
@@ -125,16 +180,24 @@ fn run_id(id: &str, opts: &Options) -> Result<Vec<Table>, String> {
         "fig10" => Machine::BOTH.iter().map(|&m| factors::fig10(m)).collect(),
         "fig11" => Machine::BOTH.iter().map(|&m| energy::fig11(m)).collect(),
         "fig12" => Machine::BOTH.iter().map(|&m| energy::fig12(m)).collect(),
-        "fig14" => {
-            let results = server_eval::evaluate(Machine::XGene3, scale, seed);
-            vec![server_eval::fig14(&results, 60)]
-        }
-        "fig15" => {
-            let results = server_eval::evaluate(Machine::XGene3, scale, seed);
-            vec![server_eval::fig15(&results, 60)]
-        }
-        "table3" => vec![server_eval::table3_4(Machine::XGene2, scale, seed).0],
-        "table4" => vec![server_eval::table3_4(Machine::XGene3, scale, seed).0],
+        "fig14" => run_traced(opts, Machine::XGene3, |tel| {
+            let results = server_eval::evaluate_with_observer(Machine::XGene3, scale, seed, tel);
+            Ok(vec![server_eval::fig14(&results, 60)])
+        })?,
+        "fig15" => run_traced(opts, Machine::XGene3, |tel| {
+            let results = server_eval::evaluate_with_observer(Machine::XGene3, scale, seed, tel);
+            Ok(vec![server_eval::fig15(&results, 60)])
+        })?,
+        "table3" => run_traced(opts, Machine::XGene2, |tel| {
+            Ok(vec![
+                server_eval::table3_4_with_observer(Machine::XGene2, scale, seed, tel).0,
+            ])
+        })?,
+        "table4" => run_traced(opts, Machine::XGene3, |tel| {
+            Ok(vec![
+                server_eval::table3_4_with_observer(Machine::XGene3, scale, seed, tel).0,
+            ])
+        })?,
         "resilience" => {
             let rates: &[f64] = if opts.smoke {
                 &resilience::SMOKE_RATES
@@ -146,14 +209,19 @@ fn run_id(id: &str, opts: &Options) -> Result<Vec<Table>, String> {
             } else {
                 &Machine::BOTH
             };
+            // With --trace, the journal covers the last machine swept.
             let mut out = Vec::new();
             for &m in machines {
-                let results = resilience::sweep(m, scale, seed, rates);
-                results
-                    .validate()
-                    .map_err(|e| format!("resilience acceptance failed on {m}: {e}"))?;
-                out.push(resilience::degradation_curve(&results));
-                out.push(resilience::recovery_stats(&results));
+                out.extend(run_traced(opts, m, |tel| {
+                    let results = resilience::sweep_with_observer(m, scale, seed, rates, tel);
+                    results
+                        .validate()
+                        .map_err(|e| format!("resilience acceptance failed on {m}: {e}"))?;
+                    Ok(vec![
+                        resilience::degradation_curve(&results),
+                        resilience::recovery_stats(&results),
+                    ])
+                })?);
             }
             out
         }

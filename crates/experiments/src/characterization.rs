@@ -57,7 +57,7 @@ pub struct CharConfig {
 impl CharConfig {
     /// Column label like `"8T(spreaded)@1.2GHz"`.
     pub fn label(&self, spec: &ChipSpec) -> String {
-        let ghz = self.step.frequency(spec.fmax_mhz).as_ghz();
+        let ghz = self.step.frequency(spec.fmax()).as_ghz();
         if self.threads == spec.cores as usize {
             format!("{}T@{:.1}GHz", self.threads, ghz)
         } else {
@@ -90,7 +90,7 @@ pub fn vmin_search(
     let model_safe = chip.vmin_model().safe_vmin(&q);
     let droop = chip.vmin_model().droop_class(q.utilized_pmds.max(1));
     let mut v = chip.nominal_voltage();
-    let step = 5;
+    let step = Millivolts::new(5);
     loop {
         let next = v.saturating_sub(step);
         let any_failure = (0..runs).any(|_| {
@@ -207,7 +207,7 @@ pub fn fig4(scale: Scale) -> Table {
             let droop = chip.vmin_model().droop_class(1);
             let mut v = chip.nominal_voltage();
             loop {
-                let next = v.saturating_sub(5);
+                let next = v.saturating_sub(Millivolts::new(5));
                 let fail = (0..scale.sweep_runs()).any(|_| {
                     chip.failure_model()
                         .sample_outcome(next, model_safe, droop, &mut rng)

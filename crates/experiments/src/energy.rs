@@ -53,7 +53,7 @@ pub fn steady_run(
     let spec = chip.spec().clone();
     let profile = bench.profile();
 
-    let freq = config.step.frequency(spec.fmax_mhz);
+    let freq = config.step.frequency(spec.fmax());
     let ratio = freq.as_mhz() as f64 / spec.fmax_mhz as f64;
     let work = perf.thread_work(&profile, config.threads);
 

@@ -14,6 +14,7 @@
 //! | [`server_eval`] | Fig. 14 (power trace), Fig. 15 (load trace), Tables III/IV (four configurations) |
 //! | [`ablations`] | beyond-paper sweeps: fail-safe off, classification threshold, guardband width, migration cost |
 //! | [`resilience`] | beyond-paper fault-injection sweep: savings-vs-fault-rate degradation curve and recovery counters |
+//! | [`telemetry_report`] | beyond-paper: `--trace` journal and metrics rendered as summary tables |
 //!
 //! Every harness takes a [`Scale`] so integration tests can run the same
 //! code path in seconds while `cargo run -p avfs-experiments --bin exp`
@@ -30,6 +31,7 @@ pub mod report;
 pub mod resilience;
 pub mod server_eval;
 pub mod tables;
+pub mod telemetry_report;
 
 use serde::{Deserialize, Serialize};
 

@@ -18,6 +18,7 @@ use avfs_core::configs::EvalConfig;
 use avfs_core::daemon::{Daemon, DaemonStats};
 use avfs_sched::metrics::RunMetrics;
 use avfs_sched::system::{System, SystemConfig};
+use avfs_telemetry::{Telemetry, TraceKind, Value};
 use avfs_workloads::generator::{GeneratorConfig, WorkloadTrace};
 use serde::{Deserialize, Serialize};
 
@@ -119,6 +120,23 @@ fn run_optimal(machine: Machine, trace: &WorkloadTrace, plan: Option<FaultPlan>)
 /// Runs the fault-rate sweep: one fault-free ondemand baseline, then the
 /// Optimal daemon once per rate with a seeded plan armed.
 pub fn sweep(machine: Machine, scale: Scale, seed: u64, rates: &[f64]) -> ResilienceResults {
+    sweep_with_observer(machine, scale, seed, rates, &Telemetry::null())
+}
+
+/// [`sweep`] with a telemetry handle installed into every faulted run's
+/// chip, scheduler, and daemon. Each run opens with an `Init` trace
+/// carrying its fault rate; the hub's monotone clock means later runs'
+/// events stamp at or after earlier runs' (the journal is still
+/// byte-identical across identical seeded invocations). The fault-free
+/// baseline is not instrumented — the journal stays a fault/recovery
+/// record.
+pub fn sweep_with_observer(
+    machine: Machine,
+    scale: Scale,
+    seed: u64,
+    rates: &[f64],
+    telemetry: &Telemetry,
+) -> ResilienceResults {
     let trace = trace_for(machine, scale, seed);
 
     let baseline = {
@@ -134,8 +152,21 @@ pub fn sweep(machine: Machine, scale: Scale, seed: u64, rates: &[f64]) -> Resili
         .map(|(i, &rate)| {
             let mut chip = machine.chip_builder().build();
             chip.set_fault_plan(Some(FaultPlan::uniform(seed.wrapping_add(i as u64), rate)));
+            telemetry.trace(TraceKind::Init, || {
+                vec![
+                    ("experiment", Value::from("resilience")),
+                    ("machine", Value::from(machine.name())),
+                    ("rate", Value::from(rate)),
+                ]
+            });
             let mut daemon = Daemon::optimal(&chip);
-            let mut system = System::new(chip, machine.perf_model(), SystemConfig::default());
+            daemon.set_telemetry(telemetry.clone());
+            let mut system = System::with_observer(
+                chip,
+                machine.perf_model(),
+                SystemConfig::default(),
+                telemetry.clone(),
+            );
             let metrics = system.run(&trace, &mut daemon);
             let chip = system.chip();
             let end_state_ok = chip.voltage() <= chip.nominal_voltage()

@@ -11,6 +11,7 @@ use avfs_core::configs::EvalConfig;
 use avfs_sched::metrics::RunMetrics;
 use avfs_sched::system::{System, SystemConfig};
 use avfs_sim::time::SimDuration;
+use avfs_telemetry::{Telemetry, TraceKind, Value};
 use avfs_workloads::generator::{GeneratorConfig, WorkloadTrace};
 use serde::{Deserialize, Serialize};
 
@@ -41,6 +42,19 @@ impl EvalResults {
 /// Runs the §VI-B evaluation for one machine: the same generated trace
 /// under all four configurations.
 pub fn evaluate(machine: Machine, scale: Scale, seed: u64) -> EvalResults {
+    evaluate_with_observer(machine, scale, seed, &Telemetry::null())
+}
+
+/// [`evaluate`] with a telemetry handle installed into the **Optimal**
+/// run's chip, scheduler, and daemon (the paper's headline
+/// configuration; instrumenting all four would interleave their
+/// journals on one monotone clock). The run opens with an `Init` trace.
+pub fn evaluate_with_observer(
+    machine: Machine,
+    scale: Scale,
+    seed: u64,
+    telemetry: &Telemetry,
+) -> EvalResults {
     let cores = machine.chip_builder().spec().cores as usize;
     let mut gen = GeneratorConfig::paper_default(cores, seed);
     gen.duration = scale.server_window();
@@ -52,8 +66,25 @@ pub fn evaluate(machine: Machine, scale: Scale, seed: u64) -> EvalResults {
         .iter()
         .map(|&cfg| {
             let chip = machine.chip_builder().build();
-            let mut driver = cfg.driver(&chip);
-            let mut system = System::new(chip, machine.perf_model(), SystemConfig::default());
+            let run_telemetry = if cfg == EvalConfig::Optimal {
+                telemetry.clone()
+            } else {
+                Telemetry::null()
+            };
+            run_telemetry.trace(TraceKind::Init, || {
+                vec![
+                    ("experiment", Value::from("server_eval")),
+                    ("machine", Value::from(machine.name())),
+                    ("config", Value::from(cfg.label())),
+                ]
+            });
+            let mut driver = cfg.driver_with_observer(&chip, run_telemetry.clone());
+            let mut system = System::with_observer(
+                chip,
+                machine.perf_model(),
+                SystemConfig::default(),
+                run_telemetry,
+            );
             let metrics = system.run(&trace, driver.as_mut());
             (cfg.label().to_string(), metrics)
         })
@@ -67,7 +98,18 @@ pub fn evaluate(machine: Machine, scale: Scale, seed: u64) -> EvalResults {
 /// Tables III/IV: time, average power, energy, savings, and ED2P for the
 /// four configurations.
 pub fn table3_4(machine: Machine, scale: Scale, seed: u64) -> (Table, EvalResults) {
-    let results = evaluate(machine, scale, seed);
+    table3_4_with_observer(machine, scale, seed, &Telemetry::null())
+}
+
+/// [`table3_4`] over [`evaluate_with_observer`]: the Optimal run reports
+/// through `telemetry`.
+pub fn table3_4_with_observer(
+    machine: Machine,
+    scale: Scale,
+    seed: u64,
+    telemetry: &Telemetry,
+) -> (Table, EvalResults) {
+    let results = evaluate_with_observer(machine, scale, seed, telemetry);
     let table_no = match machine {
         Machine::XGene2 => "III",
         Machine::XGene3 => "IV",

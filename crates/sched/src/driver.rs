@@ -21,7 +21,11 @@ use avfs_workloads::classify::IntensityClass;
 use serde::{Deserialize, Serialize};
 
 /// Events a driver is invoked on.
+///
+/// Non-exhaustive: new event kinds may be delivered in future versions,
+/// so out-of-crate drivers must keep a wildcard arm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub enum SysEvent {
     /// A new process entered the system (not yet placed).
     ProcessArrived(Pid),
@@ -36,6 +40,19 @@ pub enum SysEvent {
     /// with the remainder of that batch discarded — the driver decides
     /// whether to retry, back off, or fall back to a safe mode.
     OperationFault(FaultNotice),
+}
+
+impl SysEvent {
+    /// Stable snake_case label used in telemetry traces.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SysEvent::ProcessArrived(_) => "process_arrived",
+            SysEvent::ProcessFinished(_) => "process_finished",
+            SysEvent::ClassChanged(..) => "class_changed",
+            SysEvent::MonitorTick => "monitor_tick",
+            SysEvent::OperationFault(_) => "operation_fault",
+        }
+    }
 }
 
 /// What failed, as observed by the control plane.

@@ -31,6 +31,7 @@ use avfs_chip::topology::{CoreId, CoreSet, PmdId};
 use avfs_sim::stats::TimeWeighted;
 use avfs_sim::time::{SimDuration, SimTime};
 use avfs_sim::RngStream;
+use avfs_telemetry::{Telemetry, TraceKind, Value};
 use avfs_workloads::classify::{HysteresisClassifier, IntensityClass};
 use avfs_workloads::generator::WorkloadTrace;
 use avfs_workloads::perf::PerfModel;
@@ -113,6 +114,7 @@ pub struct System {
     failures: u64,
     migrations: u64,
     rejected_actions: u64,
+    telemetry: Telemetry,
 }
 
 /// Outcome of applying driver actions (for introspection in tests).
@@ -126,9 +128,12 @@ pub struct ApplyStats {
 
 impl System {
     /// Creates a system around a chip and its matching performance model.
+    /// Inherits whatever telemetry handle the chip already carries (null
+    /// by default), so a pre-instrumented chip keeps reporting.
     pub fn new(chip: Chip, perf: PerfModel, config: SystemConfig) -> Self {
         let droop_rng = RngStream::from_root(config.seed, "system-droops");
         let failure_rng = RngStream::from_root(config.seed, "system-failures");
+        let telemetry = chip.telemetry().clone();
         System {
             chip,
             perf,
@@ -147,7 +152,27 @@ impl System {
             failures: 0,
             migrations: 0,
             rejected_actions: 0,
+            telemetry,
         }
+    }
+
+    /// Creates a system whose decision points (and the chip's mailbox
+    /// paths) report through `telemetry`. The observer seam for the
+    /// scheduler layer: `System::new` is exactly
+    /// `with_observer(..., Telemetry::null())` on an uninstrumented chip.
+    pub fn with_observer(
+        mut chip: Chip,
+        perf: PerfModel,
+        config: SystemConfig,
+        telemetry: Telemetry,
+    ) -> Self {
+        chip.set_telemetry(telemetry);
+        Self::new(chip, perf, config)
+    }
+
+    /// The telemetry handle this system reports through.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The chip under simulation.
@@ -315,6 +340,18 @@ impl System {
                 let changes = self.close_monitor_windows();
                 self.dispatch(driver, SysEvent::MonitorTick, &mut metrics);
                 for (pid, class) in changes {
+                    self.telemetry.trace(TraceKind::Classification, || {
+                        vec![
+                            ("pid", Value::U64(pid.0)),
+                            (
+                                "class",
+                                Value::Str(match class {
+                                    IntensityClass::CpuIntensive => "cpu",
+                                    IntensityClass::MemoryIntensive => "memory",
+                                }),
+                            ),
+                        ]
+                    });
                     self.dispatch(driver, SysEvent::ClassChanged(pid, class), &mut metrics);
                 }
                 self.apply_governor();
@@ -394,7 +431,19 @@ impl System {
     /// With no fault plan armed, no notice is ever produced and this is
     /// exactly the old consult-once path.
     fn dispatch(&mut self, driver: &mut dyn Driver, event: SysEvent, metrics: &mut RunMetrics) {
+        self.telemetry.advance_to(self.now);
+        self.telemetry.counter_inc("sched.events");
         let acts = driver.on_event(&self.view(), &event);
+        self.telemetry
+            .histogram_observe("sched.actions_per_event", acts.len() as u64);
+        let event_label = event.label();
+        let n_acts = acts.len() as u64;
+        self.telemetry.trace(TraceKind::ActionDispatch, || {
+            vec![
+                ("event", Value::Str(event_label)),
+                ("actions", Value::U64(n_acts)),
+            ]
+        });
         let mut notices = self.apply_actions(&acts, metrics);
         for _ in 0..FAULT_FEEDBACK_ROUNDS {
             if notices.is_empty() {
@@ -402,6 +451,7 @@ impl System {
             }
             let mut next = Vec::new();
             for notice in notices {
+                self.telemetry.counter_inc("sched.fault_feedback_events");
                 let acts = driver.on_event(&self.view(), &SysEvent::OperationFault(notice));
                 next.extend(self.apply_actions(&acts, metrics));
             }
@@ -663,39 +713,55 @@ impl System {
         for action in actions {
             match *action {
                 Action::PinProcess(pid, cores) => {
-                    if !self.pin_process(pid, cores) {
-                        self.rejected_actions += 1;
+                    if self.pin_process(pid, cores) {
+                        self.note_action_applied();
+                    } else {
+                        self.note_action_rejected();
                     }
                 }
                 Action::SetPmdStep(pmd, step) => {
                     if self.governor == GovernorMode::Userspace {
                         if self.chip.set_pmd_freq_step(pmd, step).is_err() {
-                            self.rejected_actions += 1;
+                            self.note_action_rejected();
+                        } else {
+                            self.note_action_applied();
                         }
                     } else {
                         // Kernel governors own the frequency; refuse.
-                        self.rejected_actions += 1;
+                        self.note_action_rejected();
                     }
                 }
                 Action::SetVoltage(mv) => match self.chip.set_voltage(mv) {
-                    Ok(()) => {}
+                    Ok(()) => self.note_action_applied(),
                     Err(ChipError::MailboxRefused { .. }) => {
+                        self.telemetry.counter_inc("sched.fault_notices");
                         notices.push(FaultNotice::VoltageRefused(mv));
                         break;
                     }
                     Err(ChipError::MailboxDropped) => {
+                        self.telemetry.counter_inc("sched.fault_notices");
                         notices.push(FaultNotice::VoltageDropped(mv));
                         break;
                     }
-                    Err(_) => self.rejected_actions += 1,
+                    Err(_) => self.note_action_rejected(),
                 },
                 Action::SetGovernor(mode) => {
                     self.governor = mode;
                     self.apply_governor();
+                    self.note_action_applied();
                 }
             }
         }
         notices
+    }
+
+    fn note_action_applied(&mut self) {
+        self.telemetry.counter_inc("sched.actions.applied");
+    }
+
+    fn note_action_rejected(&mut self) {
+        self.rejected_actions += 1;
+        self.telemetry.counter_inc("sched.actions.rejected");
     }
 
     /// Pins (places or migrates) a process; returns false when invalid.
@@ -868,6 +934,15 @@ impl System {
             .filter(|p| p.is_running())
             .map(|p| p.threads)
             .sum();
+        self.telemetry.advance_to(self.now);
+        let voltage_mv = self.chip.voltage().as_mv();
+        self.telemetry.trace(TraceKind::MonitorSample, || {
+            vec![
+                ("power_w", Value::F64(watts)),
+                ("voltage_mv", Value::U64(u64::from(voltage_mv))),
+                ("running_threads", Value::U64(running_threads as u64)),
+            ]
+        });
         metrics.load_trace.push(self.now, running_threads as f64);
         let (mut cpu, mut mem) = (0u32, 0u32);
         for p in self.procs.values().filter(|p| p.is_running()) {

@@ -38,4 +38,17 @@ cargo test -q --workspace
 echo "==> resilience smoke soak (seeded fault injection)"
 cargo run -q --release -p avfs-experiments --bin exp -- resilience --smoke > /dev/null
 
+echo "==> trace determinism (byte-identical journals across identical seeded runs)"
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+cargo run -q --release -p avfs-experiments --bin exp -- \
+  resilience --smoke --trace "$trace_dir/a.jsonl" > /dev/null 2>&1
+cargo run -q --release -p avfs-experiments --bin exp -- \
+  resilience --smoke --trace "$trace_dir/b.jsonl" > /dev/null 2>&1
+test -s "$trace_dir/a.jsonl"
+cmp "$trace_dir/a.jsonl" "$trace_dir/b.jsonl"
+
+echo "==> telemetry observer guard (null-path overhead within noise)"
+cargo test -q --release -p avfs-bench --test observer_guard
+
 echo "All checks passed."

@@ -208,8 +208,16 @@ proptest! {
         let model = chip.failure_model();
         let safe_v = avfs_chip::Millivolts::new(safe);
         let (lo, hi) = (depth1.min(depth2), depth1.max(depth2));
-        let p_shallow = model.pfail(safe_v.saturating_sub(lo), safe_v, DroopClass::D45);
-        let p_deep = model.pfail(safe_v.saturating_sub(hi), safe_v, DroopClass::D45);
+        let p_shallow = model.pfail(
+            safe_v.saturating_sub(avfs_chip::Millivolts::new(lo)),
+            safe_v,
+            DroopClass::D45,
+        );
+        let p_deep = model.pfail(
+            safe_v.saturating_sub(avfs_chip::Millivolts::new(hi)),
+            safe_v,
+            DroopClass::D45,
+        );
         prop_assert!((0.0..=1.0).contains(&p_shallow));
         prop_assert!((0.0..=1.0).contains(&p_deep));
         prop_assert!(p_deep >= p_shallow);
