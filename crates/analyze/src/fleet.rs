@@ -1,0 +1,196 @@
+//! Dynamic fleet checks: cluster-level invariants and the worker-count
+//! determinism contract.
+//!
+//! The fleet layer promises that (a) the cluster front door never loses
+//! a job — every submission is admitted or shed, and every admitted job
+//! completes once the fleet drains; (b) per-node daemons stay inside
+//! their safety envelope under cluster-induced load patterns (batched
+//! epoch admissions, oversubscription); and (c) results are
+//! byte-identical for any worker count. This module replays one seeded
+//! mixed-cluster workload under each built-in routing policy and
+//! asserts all three, reporting violations as data the same way the
+//! static invariants do.
+
+use crate::invariant::Violation;
+use avfs_fleet::{
+    EnergyAware, Fleet, FleetConfig, FleetSummary, LeastQueued, NodeConfig, NodeKind, RoundRobin,
+    RoutingPolicy,
+};
+use avfs_sim::time::SimDuration;
+use avfs_workloads::{GeneratorConfig, WorkloadTrace};
+use std::fmt;
+
+/// Outcome of one fleet exploration run.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Policies exercised.
+    pub policies: Vec<&'static str>,
+    /// Jobs submitted per policy run (identical trace each time).
+    pub submitted: u64,
+    /// Violations found across all runs.
+    pub violations: Vec<Violation>,
+}
+
+impl FleetReport {
+    /// True when no run violated a fleet invariant.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fleet: {} policies x {} jobs, {} violation(s)",
+            self.policies.len(),
+            self.submitted,
+            self.violations.len()
+        )
+    }
+}
+
+fn violation(name: &'static str, location: String, message: String) -> Violation {
+    Violation {
+        invariant: name,
+        location,
+        message,
+    }
+}
+
+/// The small mixed cluster every check runs against.
+fn cluster(workers: usize, seed: u64) -> FleetConfig {
+    let nodes = vec![
+        NodeConfig::new(NodeKind::XGene2, seed.wrapping_add(1)),
+        NodeConfig::new(NodeKind::XGene2, seed.wrapping_add(2)),
+        NodeConfig::new(NodeKind::XGene3, seed.wrapping_add(3)),
+    ];
+    let mut cfg = FleetConfig::new(nodes);
+    cfg.workers = workers;
+    cfg.telemetry = true;
+    cfg
+}
+
+fn trace(seed: u64) -> WorkloadTrace {
+    let mut cfg = GeneratorConfig::paper_default(48, seed);
+    cfg.duration = SimDuration::from_secs(60);
+    cfg.job_scale = 0.3;
+    WorkloadTrace::generate(&cfg)
+}
+
+/// Per-summary invariants: conservation, safety, aggregate consistency.
+fn check_summary(policy: &'static str, s: &FleetSummary, out: &mut Vec<Violation>) {
+    let a = s.admission;
+    if a.submitted != a.admitted + a.shed_full + a.shed_unroutable {
+        out.push(violation(
+            "fleet-conservation",
+            format!("policy {policy}"),
+            format!(
+                "submitted {} != admitted {} + shed {}",
+                a.submitted,
+                a.admitted,
+                a.shed()
+            ),
+        ));
+    }
+    if !s.conserves_jobs() {
+        out.push(violation(
+            "fleet-conservation",
+            format!("policy {policy}"),
+            format!(
+                "admitted {} but completed {} after drain",
+                a.admitted, s.completed
+            ),
+        ));
+    }
+    if s.failures != 0 || s.unsafe_time_s > 0.0 {
+        out.push(violation(
+            "fleet-safety",
+            format!("policy {policy}"),
+            format!(
+                "cluster ran unsafely: failures={} unsafe_time={}s",
+                s.failures, s.unsafe_time_s
+            ),
+        ));
+    }
+    let node_energy: f64 = s.nodes.iter().map(|n| n.metrics.energy_j).sum();
+    if (node_energy - s.cluster_energy_j).abs() > 1e-6 * s.cluster_energy_j.max(1.0) {
+        out.push(violation(
+            "fleet-aggregation",
+            format!("policy {policy}"),
+            format!(
+                "cluster energy {} != sum of node energies {}",
+                s.cluster_energy_j, node_energy
+            ),
+        ));
+    }
+    let max_makespan = s
+        .nodes
+        .iter()
+        .map(|n| n.metrics.makespan)
+        .max()
+        .unwrap_or(SimDuration::ZERO);
+    if s.cluster_makespan != max_makespan {
+        out.push(violation(
+            "fleet-aggregation",
+            format!("policy {policy}"),
+            format!(
+                "cluster makespan {:?} != max node makespan {:?}",
+                s.cluster_makespan, max_makespan
+            ),
+        ));
+    }
+}
+
+/// Runs the fleet checks: every policy once, plus a 1-vs-4-worker
+/// determinism pair per policy.
+pub fn explore(seed: u64) -> FleetReport {
+    let t = trace(seed);
+    let mut violations = Vec::new();
+    let policies: Vec<&'static str> = vec!["round-robin", "least-queued", "energy-aware"];
+    let fresh = |name: &str| -> Box<dyn RoutingPolicy> {
+        match name {
+            "round-robin" => Box::new(RoundRobin::new()),
+            "least-queued" => Box::new(LeastQueued::new()),
+            _ => Box::new(EnergyAware::new()),
+        }
+    };
+    let mut submitted = 0;
+    for &name in &policies {
+        let one = Fleet::new(&cluster(1, seed)).run(&t, fresh(name).as_mut());
+        submitted = one.admission.submitted;
+        check_summary(name, &one, &mut violations);
+        let four = Fleet::new(&cluster(4, seed)).run(&t, fresh(name).as_mut());
+        if one.fingerprint() != four.fingerprint() {
+            violations.push(violation(
+                "fleet-determinism",
+                format!("policy {name}"),
+                "summary fingerprint diverged between 1 and 4 workers".to_string(),
+            ));
+        }
+        if one.journal != four.journal {
+            violations.push(violation(
+                "fleet-determinism",
+                format!("policy {name}"),
+                "telemetry journal diverged between 1 and 4 workers".to_string(),
+            ));
+        }
+    }
+    FleetReport {
+        policies,
+        submitted,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_checks_are_clean() {
+        let report = explore(0xF1EE7);
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert!(report.submitted > 0);
+    }
+}

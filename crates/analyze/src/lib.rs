@@ -24,6 +24,10 @@
 //!   invariants (no torn V/F pair, no mid-migration mask, rail in range)
 //!   after every step — the property the fail-safe ordering exists to
 //!   maintain.
+//! * [`fleet`] — cluster-level checks over `avfs-fleet`: job
+//!   conservation through admission/shedding/drain, per-node safety
+//!   under cluster-induced load, aggregate consistency, and the
+//!   byte-identical-across-worker-counts determinism contract.
 //!
 //! Run all three from the binary:
 //!
@@ -34,6 +38,7 @@
 //! ```
 
 pub mod context;
+pub mod fleet;
 pub mod invariant;
 pub mod invariants;
 pub mod lint;

@@ -4,6 +4,7 @@
 //! cargo run -p avfs-analyze -- invariants
 //! cargo run -p avfs-analyze -- lint [--update-allowlist]
 //! cargo run -p avfs-analyze -- race [--schedules N] [--events N] [--seed S] [--fault-rate F]
+//! cargo run -p avfs-analyze -- fleet [--seed S]
 //! cargo run -p avfs-analyze -- all
 //! ```
 //!
@@ -11,13 +12,14 @@
 //! binary can gate CI (`scripts/check.sh` runs `all`).
 
 use avfs_analyze::invariant::{check_all, registry};
-use avfs_analyze::{lint, race};
+use avfs_analyze::{fleet, lint, race};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: avfs-analyze <invariants | lint [--update-allowlist] | \
-         race [--schedules N] [--events N] [--seed S] [--fault-rate F] | all>"
+         race [--schedules N] [--events N] [--seed S] [--fault-rate F] | \
+         fleet [--seed S] | all>"
     );
     ExitCode::from(2)
 }
@@ -97,6 +99,15 @@ fn run_race(schedules: usize, events: usize, seed: u64, fault_rate: f64) -> bool
     report.is_clean()
 }
 
+fn run_fleet(seed: u64) -> bool {
+    let report = fleet::explore(seed);
+    println!("{report}");
+    for v in &report.violations {
+        println!("  {v}");
+    }
+    report.is_clean()
+}
+
 fn parse_flag(args: &[String], flag: &str, default: u64) -> u64 {
     args.iter()
         .position(|a| a == flag)
@@ -128,12 +139,14 @@ fn main() -> ExitCode {
             let fault_rate = parse_f64_flag(&args, "--fault-rate", 0.0);
             run_race(schedules, events, seed, fault_rate)
         }
+        "fleet" => run_fleet(parse_flag(&args, "--seed", 0xF1EE_7001)),
         "all" => {
             let inv = run_invariants();
             let lint_ok = run_lint(false);
             let race_ok = run_race(160, 24, 0xA5F5_0001, 0.0);
             let fault_race_ok = run_race(96, 24, 0xFA17_0002, 0.10);
-            inv && lint_ok && race_ok && fault_race_ok
+            let fleet_ok = run_fleet(0xF1EE_7001);
+            inv && lint_ok && race_ok && fault_race_ok && fleet_ok
         }
         _ => return usage(),
     };

@@ -38,17 +38,19 @@ impl EvalConfig {
     ];
 
     /// Builds the driver implementing this configuration for `chip`.
-    pub fn driver(self, chip: &Chip) -> Box<dyn Driver> {
+    /// The driver is `Send` so cluster-level callers (avfs-fleet) can
+    /// step nodes from a scoped worker pool.
+    pub fn driver(self, chip: &Chip) -> Box<dyn Driver + Send> {
         self.driver_with_observer(chip, Telemetry::null())
     }
 
     /// Builds the driver with a telemetry handle installed. The baseline
     /// policy makes no decisions worth tracing, so it ignores the
     /// observer; the three daemon configurations report through it.
-    pub fn driver_with_observer(self, chip: &Chip, telemetry: Telemetry) -> Box<dyn Driver> {
+    pub fn driver_with_observer(self, chip: &Chip, telemetry: Telemetry) -> Box<dyn Driver + Send> {
         let with = |mut d: Daemon| {
             d.set_telemetry(telemetry.clone());
-            Box::new(d) as Box<dyn Driver>
+            Box::new(d) as Box<dyn Driver + Send>
         };
         match self {
             EvalConfig::Baseline => Box::new(DefaultPolicy::ondemand()),

@@ -381,17 +381,44 @@ impl Daemon {
         // --- Target layout & frequency program. ---
         let procs = self.plan_procs(view);
         let layout = plan_layout(&self.spec, &procs);
+        // Running processes the layout could not re-fit (fragmentation
+        // under oversubscription: a wide process cannot be packed around
+        // a newly placed narrow one) keep executing on their current
+        // cores. The program must keep those PMDs clocked and the rail
+        // above their Vmin, or the final undervolt would dip below what
+        // the cores that never vacated require.
+        let stranded = view
+            .processes
+            .iter()
+            .filter(|p| p.state == ProcessState::Running && !layout.assignment.contains_key(&p.pid))
+            .fold(CoreSet::EMPTY, |acc, p| acc.union(p.assigned));
         let new_steps: Vec<FreqStep> = layout
             .pmd_roles
             .iter()
-            .map(|role| match role {
-                PmdRole::Cpu => FreqStep::MAX,
-                PmdRole::Mem => self.config.mem_step,
-                PmdRole::Idle => self.config.idle_step,
+            .enumerate()
+            .map(|(i, role)| {
+                let planned = match role {
+                    PmdRole::Cpu => FreqStep::MAX,
+                    PmdRole::Mem => self.config.mem_step,
+                    PmdRole::Idle => self.config.idle_step,
+                };
+                let hosts_stranded = self
+                    .spec
+                    .cores_of(PmdId::new(i as u16))
+                    .iter()
+                    .any(|&c| stranded.contains(c));
+                if hosts_stranded {
+                    // Never throttle a core a stranded process runs on.
+                    view.pmd_steps
+                        .get(i)
+                        .map_or(planned, |&current| planned.max(current))
+                } else {
+                    planned
+                }
             })
             .collect();
         let pins = self.sequence_pins(view, &layout.assignment);
-        let target_busy = layout.busy_cores();
+        let target_busy = layout.busy_cores().union(stranded);
 
         // --- Voltage program. ---
         if self.config.control_voltage && !self.config.fail_safe_ordering {

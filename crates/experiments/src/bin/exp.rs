@@ -2,32 +2,43 @@
 //!
 //! ```text
 //! exp [--quick] [--smoke] [--csv DIR] [--seed N] [--trace FILE] <id>...
-//! exp all                # every artifact
+//! exp all                # every paper artifact (see note below)
 //! exp table3 table4      # just the headline tables
 //! exp resilience --smoke # short seeded fault soak (CI gate)
+//! exp fleet --smoke      # quick cluster eval + determinism gate
 //! exp resilience --smoke --trace out.jsonl  # + trace journal & summary
 //! ```
 //!
 //! Artifact ids: `table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
-//! fig11 fig12 fig14 fig15 table3 table4 ablations resilience`.
+//! fig11 fig12 fig14 fig15 table3 table4 ablations resilience fleet`.
+//!
+//! `all` intentionally excludes the slow ids — `ablations`,
+//! `resilience`, and `fleet` — which run long sweeps or whole-cluster
+//! simulations; request those explicitly. Unknown ids are rejected
+//! before anything runs, with a nonzero exit and the closest matches.
 //!
 //! `--smoke` implies `--quick` and trims the resilience sweep to its
 //! rate-0 anchor plus the 5% acceptance point on one machine; the
 //! resilience id exits nonzero if any run fails its acceptance checks
-//! (all jobs drained, safe end state, strictly positive savings).
+//! (all jobs drained, safe end state, strictly positive savings). The
+//! fleet id likewise exits nonzero when a policy run breaks job
+//! conservation, operates unsafely, loses to round-robin on energy, or
+//! diverges across worker counts.
 //!
 //! `--trace FILE` attaches a telemetry hub to the experiments that
-//! support it (`table3`, `table4`, `fig14`, `fig15`, `resilience`),
-//! writes the trace journal to FILE as JSONL — byte-identical across
-//! identical seeded invocations — and appends the `telemetry summary`
-//! tables (action mix, per-interval monitor summary, fault/recovery
-//! timeline) to the output. With several traced ids, the last one's
-//! journal wins the file; trace one id per invocation.
+//! support it (`table3`, `table4`, `fig14`, `fig15`, `resilience`,
+//! `fleet`), writes the trace journal to FILE as JSONL — byte-identical
+//! across identical seeded invocations — and appends the `telemetry
+//! summary` tables (action mix, per-interval monitor summary,
+//! fault/recovery timeline) to the output. For `fleet` the journal is
+//! the energy-aware run's merged, node-tagged cluster journal. With
+//! several traced ids, the last one's journal wins the file; trace one
+//! id per invocation.
 
 use avfs_chip::vmin::DroopClass;
 use avfs_experiments::report::Table;
 use avfs_experiments::{
-    ablations, characterization, droops, energy, factors, perfchar, resilience, server_eval,
+    ablations, characterization, droops, energy, factors, fleet, perfchar, resilience, server_eval,
     tables, telemetry_report, Machine, Scale,
 };
 use avfs_telemetry::Telemetry;
@@ -47,6 +58,53 @@ const ALL_IDS: [&str; 16] = [
     "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
     "fig12", "fig14", "fig15", "table3", "table4",
 ];
+
+/// Ids `all` deliberately leaves out: long sweeps and whole-cluster
+/// simulations that would dominate an `exp all` run.
+const SLOW_IDS: [&str; 3] = ["ablations", "resilience", "fleet"];
+
+/// Levenshtein distance, for `did you mean` suggestions on unknown ids.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+/// The rejection message for an id nothing matches: nearest known ids
+/// when any are plausible, the full list otherwise.
+fn unknown_id_error(id: &str) -> String {
+    let known: Vec<&str> = ALL_IDS
+        .iter()
+        .chain(SLOW_IDS.iter())
+        .copied()
+        .chain(std::iter::once("all"))
+        .collect();
+    let mut near: Vec<&str> = known
+        .iter()
+        .copied()
+        .filter(|k| edit_distance(id, k) <= 2)
+        .collect();
+    near.sort_unstable();
+    if near.is_empty() {
+        format!(
+            "unknown experiment id `{id}` (known ids: {})",
+            known.join(" ")
+        )
+    } else {
+        format!(
+            "unknown experiment id `{id}` — did you mean {}?",
+            near.join(", ")
+        )
+    }
+}
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
@@ -77,20 +135,22 @@ fn parse_args() -> Result<Options, String> {
                 let path = args.next().ok_or("--trace needs a file path")?;
                 opts.trace = Some(PathBuf::from(path));
             }
-            "all" => opts.ids.extend(
-                ALL_IDS
-                    .iter()
-                    .map(|s| s.to_string())
-                    .chain(["ablations".into(), "resilience".into()]),
-            ),
+            // `all` is the paper reproduction set only: the slow ids
+            // (ablations, resilience, fleet) must be requested by name.
+            "all" => opts.ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
                 println!(
-                    "usage: exp [--quick] [--smoke] [--csv DIR] [--seed N] [--trace FILE] <id>...\n  ids: {} ablations resilience all",
-                    ALL_IDS.join(" ")
+                    "usage: exp [--quick] [--smoke] [--csv DIR] [--seed N] [--trace FILE] <id>...\n  ids: {} {} all\n  `all` runs the paper artifacts and intentionally excludes the slow\n  ids ({}); request those explicitly.",
+                    ALL_IDS.join(" "),
+                    SLOW_IDS.join(" "),
+                    SLOW_IDS.join(", ")
                 );
                 std::process::exit(0);
             }
-            id => opts.ids.push(id.to_string()),
+            id if ALL_IDS.contains(&id) || SLOW_IDS.contains(&id) => {
+                opts.ids.push(id.to_string());
+            }
+            unknown => return Err(unknown_id_error(unknown)),
         }
     }
     if opts.ids.is_empty() {
@@ -114,7 +174,7 @@ fn emit(tables: Vec<Table>, csv_dir: &Option<PathBuf>) {
 }
 
 /// Ids that accept a telemetry hub when `--trace` is given.
-const TRACED_IDS: [&str; 5] = ["table3", "table4", "fig14", "fig15", "resilience"];
+const TRACED_IDS: [&str; 6] = ["table3", "table4", "fig14", "fig15", "resilience", "fleet"];
 
 /// Runs `run` with a hub-backed telemetry handle when `--trace` is set
 /// (null otherwise); afterwards writes the JSONL journal and appends the
@@ -224,6 +284,27 @@ fn run_id(id: &str, opts: &Options) -> Result<Vec<Table>, String> {
                 })?);
             }
             out
+        }
+        "fleet" => {
+            let results = fleet::evaluate(scale, seed);
+            fleet::validate(&results).map_err(|e| format!("fleet acceptance failed: {e}"))?;
+            if let Some(path) = &opts.trace {
+                // The merged, node-tagged journal of the energy-aware
+                // run (byte-identical across worker counts).
+                let journal = results.energy_aware().journal.clone().unwrap_or_default();
+                std::fs::write(path, &journal)
+                    .map_err(|e| format!("cannot write trace to {}: {e}", path.display()))?;
+                eprintln!(
+                    "fleet journal: {} events -> {}",
+                    journal.lines().count(),
+                    path.display()
+                );
+            }
+            vec![
+                fleet::policy_table(&results),
+                fleet::node_table(&results),
+                fleet::determinism_table(&results),
+            ]
         }
         "ablations" => {
             let mut out = Vec::new();

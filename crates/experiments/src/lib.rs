@@ -25,6 +25,7 @@ pub mod characterization;
 pub mod droops;
 pub mod energy;
 pub mod factors;
+pub mod fleet;
 mod json;
 pub mod perfchar;
 pub mod report;

@@ -1,0 +1,436 @@
+//! The fleet engine: epoch-synchronized execution over N nodes with a
+//! bounded-admission front door.
+//!
+//! # Determinism rules
+//!
+//! Results are byte-identical for any worker count because:
+//!
+//! 1. **Routing is sequential.** All routing decisions happen on the
+//!    coordinator at epoch boundaries, in trace order, against node
+//!    views snapshotted in `NodeId` order.
+//! 2. **Node stepping is independent.** Between boundaries each node
+//!    advances its own `System` to the same horizon; nodes share no
+//!    state, and each has its own telemetry hub, so which worker steps
+//!    which node cannot be observed.
+//! 3. **Merging is ordered.** Summaries and the fleet journal are
+//!    assembled in `NodeId` order after all workers join; timestamps
+//!    are simulation-time only.
+
+use crate::node::{Node, NodeConfig, NodeId, NodeSummary};
+use crate::routing::{JobView, RoutingPolicy};
+use avfs_core::daemon::DaemonStats;
+use avfs_sim::time::{SimDuration, SimTime};
+use avfs_telemetry::{Telemetry, TraceKind, Value};
+use avfs_workloads::{IntensityClass, WorkloadTrace};
+
+/// Fleet-wide configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// The nodes, in `NodeId` order.
+    pub nodes: Vec<NodeConfig>,
+    /// Epoch length: arrivals are admitted at epoch boundaries and all
+    /// nodes synchronize on the boundary clock.
+    pub epoch: SimDuration,
+    /// Worker threads for node stepping (results are identical for any
+    /// value; this only trades wall-clock time).
+    pub workers: usize,
+    /// When true, the coordinator and every node get a telemetry hub and
+    /// the run exports a merged fleet journal.
+    pub telemetry: bool,
+}
+
+impl FleetConfig {
+    /// A fleet over the given nodes with 1 s epochs, one worker, and
+    /// telemetry off.
+    pub fn new(nodes: Vec<NodeConfig>) -> Self {
+        FleetConfig {
+            nodes,
+            epoch: SimDuration::from_secs(1),
+            workers: 1,
+            telemetry: false,
+        }
+    }
+}
+
+/// Front-door admission counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Jobs that reached the front door.
+    pub submitted: u64,
+    /// Jobs admitted to some node.
+    pub admitted: u64,
+    /// Jobs shed because the chosen node (or every node) was at its
+    /// admission bound.
+    pub shed_full: u64,
+    /// Jobs shed because the policy declined or named an unknown node.
+    pub shed_unroutable: u64,
+}
+
+impl AdmissionStats {
+    /// Total jobs shed.
+    pub fn shed(&self) -> u64 {
+        self.shed_full + self.shed_unroutable
+    }
+}
+
+/// A cluster of simulated nodes behind one admission front door.
+#[derive(Debug)]
+pub struct Fleet {
+    nodes: Vec<Node>,
+    epoch: SimDuration,
+    workers: usize,
+    telemetry: Telemetry,
+}
+
+impl Fleet {
+    /// Builds the fleet: every node gets its own chip, driver, seed, and
+    /// (when enabled) telemetry hub; drivers observe their first monitor
+    /// tick immediately.
+    pub fn new(config: &FleetConfig) -> Self {
+        let coordinator = if config.telemetry {
+            Telemetry::hub()
+        } else {
+            Telemetry::null()
+        };
+        let nodes = config
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, nc)| {
+                let id = NodeId(u16::try_from(i).unwrap_or(u16::MAX));
+                let tel = if config.telemetry {
+                    Telemetry::hub()
+                } else {
+                    Telemetry::null()
+                };
+                Node::build(id, nc, tel)
+            })
+            .collect();
+        Fleet {
+            nodes,
+            epoch: config.epoch,
+            workers: config.workers.max(1),
+            telemetry: coordinator,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the fleet has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Runs the trace through the front door to completion and returns
+    /// the cluster summary. Consumes the fleet: nodes are single-run,
+    /// like [`avfs_sched::System`].
+    ///
+    /// Arrivals are admitted at the first epoch boundary at or after
+    /// their trace timestamp, in trace order; between boundaries every
+    /// node advances independently (in parallel across `workers`
+    /// threads). After the last arrival is routed, nodes drain to idle.
+    pub fn run(mut self, trace: &WorkloadTrace, policy: &mut dyn RoutingPolicy) -> FleetSummary {
+        let mut stats = AdmissionStats::default();
+        let mut now = SimTime::ZERO;
+        let mut next = 0usize;
+
+        loop {
+            // Route everything due at this boundary, in trace order.
+            while next < trace.arrivals.len() && trace.arrivals[next].at <= now {
+                let a = &trace.arrivals[next];
+                next += 1;
+                self.route_one(JobView::of(a.bench, a.threads, a.scale), policy, &mut stats);
+            }
+            if next >= trace.arrivals.len() {
+                break;
+            }
+            now += self.epoch;
+            Self::par_step(&mut self.nodes, self.workers, now);
+        }
+
+        // All arrivals routed: drain every node to idle.
+        Self::par_drain(&mut self.nodes, self.workers);
+        self.finish(policy.name(), stats)
+    }
+
+    /// One routing decision: snapshot views, consult the policy, admit
+    /// or shed, and trace the outcome on the coordinator hub.
+    fn route_one(
+        &mut self,
+        job: JobView,
+        policy: &mut dyn RoutingPolicy,
+        stats: &mut AdmissionStats,
+    ) {
+        stats.submitted += 1;
+        let views: Vec<_> = self.nodes.iter().map(Node::view).collect();
+        let class_label = match job.class {
+            IntensityClass::CpuIntensive => "cpu",
+            IntensityClass::MemoryIntensive => "memory",
+        };
+        match policy.route(&job, &views) {
+            Some(id) if id.index() < self.nodes.len() && views[id.index()].has_space() => {
+                let node = &mut self.nodes[id.index()];
+                node.system.inject_arrival(
+                    &mut node.st,
+                    node.driver.as_dyn_mut(),
+                    job.bench,
+                    job.threads,
+                    job.scale,
+                );
+                node.admitted += 1;
+                match job.class {
+                    IntensityClass::CpuIntensive => node.cpu_jobs += 1,
+                    IntensityClass::MemoryIntensive => node.mem_jobs += 1,
+                }
+                stats.admitted += 1;
+                self.telemetry.trace(TraceKind::FleetRoute, || {
+                    vec![
+                        ("node", Value::U64(u64::from(id.0))),
+                        ("bench", Value::Str(job.bench.name())),
+                        ("threads", Value::U64(job.threads as u64)),
+                        ("class", Value::Str(class_label)),
+                    ]
+                });
+            }
+            choice => {
+                let reason = match choice {
+                    None => {
+                        stats.shed_unroutable += 1;
+                        "declined"
+                    }
+                    Some(id) if id.index() >= self.nodes.len() => {
+                        stats.shed_unroutable += 1;
+                        "unknown-node"
+                    }
+                    Some(_) => {
+                        stats.shed_full += 1;
+                        "full"
+                    }
+                };
+                self.telemetry.trace(TraceKind::FleetShed, || {
+                    vec![
+                        ("bench", Value::Str(job.bench.name())),
+                        ("class", Value::Str(class_label)),
+                        ("reason", Value::Str(reason)),
+                    ]
+                });
+            }
+        }
+    }
+
+    /// Steps every node to `horizon`, fanning out over a scoped worker
+    /// pool. Nodes are partitioned into contiguous chunks; since nodes
+    /// share no state, the partition (and the worker count) cannot
+    /// affect any result.
+    fn par_step(nodes: &mut [Node], workers: usize, horizon: SimTime) {
+        Self::par_each(nodes, workers, |n| n.step_to(horizon));
+    }
+
+    /// Drains every node to idle, fanning out identically.
+    fn par_drain(nodes: &mut [Node], workers: usize) {
+        Self::par_each(nodes, workers, Node::drain);
+    }
+
+    fn par_each(nodes: &mut [Node], workers: usize, f: impl Fn(&mut Node) + Send + Sync) {
+        let workers = workers.clamp(1, nodes.len().max(1));
+        if workers <= 1 {
+            for n in nodes {
+                f(n);
+            }
+            return;
+        }
+        let chunk = nodes.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            for part in nodes.chunks_mut(chunk) {
+                s.spawn(|| {
+                    for n in part {
+                        f(n);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Finalizes node metrics and assembles the summary in id order.
+    fn finish(self, policy: &'static str, stats: AdmissionStats) -> FleetSummary {
+        let mut summary = FleetSummary {
+            policy,
+            admission: stats,
+            completed: 0,
+            cluster_energy_j: 0.0,
+            cluster_makespan: SimDuration::ZERO,
+            migrations: 0,
+            voltage_changes: 0,
+            failures: 0,
+            unsafe_time_s: 0.0,
+            daemon: DaemonStats::default(),
+            nodes: Vec::with_capacity(self.nodes.len()),
+            journal: None,
+        };
+        let mut journal = String::new();
+        let coordinator_journal = self.telemetry.export_jsonl();
+        for mut node in self.nodes {
+            let metrics = node.system.finish_run(node.st);
+            summary.completed += metrics.completed.len() as u64;
+            summary.cluster_energy_j += metrics.energy_j;
+            summary.cluster_makespan = summary.cluster_makespan.max(metrics.makespan);
+            summary.migrations += metrics.migrations;
+            summary.voltage_changes += metrics.voltage_changes;
+            summary.failures += metrics.failures;
+            summary.unsafe_time_s += metrics.unsafe_time_s;
+            let daemon = node.driver.stats();
+            if let Some(ds) = &daemon {
+                add_stats(&mut summary.daemon, ds);
+            }
+            if let Some(tagged) = node
+                .telemetry
+                .with_hub(|h| h.export_jsonl_tagged("node", u64::from(node.id.0)))
+            {
+                journal.push_str(&tagged);
+            }
+            summary.nodes.push(NodeSummary {
+                id: node.id,
+                kind: node.kind,
+                cores: node.kind.cores(),
+                admitted: node.admitted,
+                completed: metrics.completed.len() as u64,
+                cpu_jobs: node.cpu_jobs,
+                mem_jobs: node.mem_jobs,
+                metrics,
+                daemon,
+            });
+        }
+        if let Some(cj) = coordinator_journal {
+            summary.journal = Some(format!("{cj}{journal}"));
+        }
+        summary
+    }
+}
+
+/// Field-by-field accumulation of daemon counters.
+fn add_stats(acc: &mut DaemonStats, s: &DaemonStats) {
+    acc.invocations += s.invocations;
+    acc.plans += s.plans;
+    acc.pins += s.pins;
+    acc.voltage_raises += s.voltage_raises;
+    acc.voltage_lowers += s.voltage_lowers;
+    acc.deferred_pins += s.deferred_pins;
+    acc.mailbox_faults += s.mailbox_faults;
+    acc.retries += s.retries;
+    acc.backoff_us += s.backoff_us;
+    acc.safe_mode_entries += s.safe_mode_entries;
+    acc.safe_mode_exits += s.safe_mode_exits;
+    acc.watchdog_fires += s.watchdog_fires;
+    acc.droop_emergencies += s.droop_emergencies;
+}
+
+/// Cluster-level aggregation of one fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSummary {
+    /// The routing policy that produced this run.
+    pub policy: &'static str,
+    /// Front-door admission counters.
+    pub admission: AdmissionStats,
+    /// Jobs completed across all nodes.
+    pub completed: u64,
+    /// Total energy across all nodes, J.
+    pub cluster_energy_j: f64,
+    /// Longest per-node makespan (cluster drain time).
+    pub cluster_makespan: SimDuration,
+    /// Total migrations across nodes.
+    pub migrations: u64,
+    /// Total committed voltage changes across nodes.
+    pub voltage_changes: u64,
+    /// Total injected failures across nodes.
+    pub failures: u64,
+    /// Total unsafe rail time across nodes, seconds.
+    pub unsafe_time_s: f64,
+    /// Aggregated daemon decision/recovery counters (zeros for
+    /// baseline-only fleets).
+    pub daemon: DaemonStats,
+    /// Per-node summaries, in `NodeId` order.
+    pub nodes: Vec<NodeSummary>,
+    /// Merged fleet journal (coordinator first, then nodes in id order,
+    /// each line tagged `"node":<id>`); `None` when telemetry was off.
+    pub journal: Option<String>,
+}
+
+impl FleetSummary {
+    /// Conservation check: every submitted job is accounted for and —
+    /// since a run always drains — every admitted job completed.
+    pub fn conserves_jobs(&self) -> bool {
+        let a = &self.admission;
+        let node_admitted: u64 = self.nodes.iter().map(|n| n.admitted).sum();
+        a.submitted == a.admitted + a.shed()
+            && a.admitted == node_admitted
+            && a.admitted == self.completed
+    }
+
+    /// Cluster energy savings vs a baseline run, percent.
+    pub fn energy_savings_vs(&self, base: &FleetSummary) -> f64 {
+        if base.cluster_energy_j <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.cluster_energy_j / base.cluster_energy_j) * 100.0
+    }
+
+    /// Cluster makespan penalty vs a baseline run, percent (negative
+    /// means faster).
+    pub fn time_penalty_vs(&self, base: &FleetSummary) -> f64 {
+        let b = base.cluster_makespan.as_secs_f64();
+        if b <= 0.0 {
+            return 0.0;
+        }
+        (self.cluster_makespan.as_secs_f64() / b - 1.0) * 100.0
+    }
+
+    /// A deterministic digest of everything observable in the summary
+    /// (floats rendered via `to_bits`, nodes in id order). Two runs are
+    /// byte-identical iff their fingerprints (and journals) match.
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(256 + 128 * self.nodes.len());
+        let a = &self.admission;
+        let _ = write!(
+            out,
+            "policy={} submitted={} admitted={} shed_full={} shed_unroutable={} \
+             completed={} energy={:016x} makespan_ns={} migrations={} vchanges={} \
+             failures={} unsafe={:016x} daemon=[{}]",
+            self.policy,
+            a.submitted,
+            a.admitted,
+            a.shed_full,
+            a.shed_unroutable,
+            self.completed,
+            self.cluster_energy_j.to_bits(),
+            self.cluster_makespan.as_nanos(),
+            self.migrations,
+            self.voltage_changes,
+            self.failures,
+            self.unsafe_time_s.to_bits(),
+            self.daemon,
+        );
+        for n in &self.nodes {
+            let _ = write!(
+                out,
+                "\n{} kind={} admitted={} completed={} cpu={} mem={} energy={:016x} \
+                 makespan_ns={} migrations={} vchanges={} unsafe={:016x}",
+                n.id,
+                n.kind,
+                n.admitted,
+                n.completed,
+                n.cpu_jobs,
+                n.mem_jobs,
+                n.metrics.energy_j.to_bits(),
+                n.metrics.makespan.as_nanos(),
+                n.metrics.migrations,
+                n.metrics.voltage_changes,
+                n.metrics.unsafe_time_s.to_bits(),
+            );
+        }
+        out
+    }
+}

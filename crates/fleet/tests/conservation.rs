@@ -1,0 +1,70 @@
+//! Job conservation under shedding: with tiny admission bounds the
+//! front door must shed, and every submitted job still has to be
+//! accounted for — submitted = admitted + shed, and every admitted job
+//! completes once the fleet drains.
+
+use avfs_fleet::{
+    EnergyAware, Fleet, FleetConfig, LeastQueued, NodeConfig, NodeKind, RoundRobin, RoutingPolicy,
+};
+use avfs_sim::time::SimDuration;
+use avfs_workloads::{GeneratorConfig, WorkloadTrace};
+use proptest::prelude::*;
+
+fn tiny_trace(seed: u64) -> WorkloadTrace {
+    // Dense on purpose: jobs outlive the inter-arrival gaps, so tiny
+    // admission bounds are guaranteed to force shedding.
+    let mut cfg = GeneratorConfig::paper_default(32, seed);
+    cfg.duration = SimDuration::from_secs(30);
+    cfg.job_scale = 0.6;
+    WorkloadTrace::generate(&cfg)
+}
+
+proptest! {
+    #[test]
+    fn no_admitted_job_is_lost_under_shedding(
+        seed in 0u64..1_000,
+        capacity in 1usize..4,
+        which in 0u8..3,
+        workers in 1usize..3,
+    ) {
+        let mut nodes = vec![
+            NodeConfig::new(NodeKind::XGene2, seed.wrapping_add(1)),
+            NodeConfig::new(NodeKind::XGene2, seed.wrapping_add(2)),
+        ];
+        for n in &mut nodes {
+            n.admit_capacity = capacity;
+        }
+        let mut cfg = FleetConfig::new(nodes);
+        cfg.workers = workers;
+        let mut rr = RoundRobin::new();
+        let mut lq = LeastQueued::new();
+        let mut ea = EnergyAware::new();
+        let policy: &mut dyn RoutingPolicy = match which {
+            0 => &mut rr,
+            1 => &mut lq,
+            _ => &mut ea,
+        };
+        let summary = Fleet::new(&cfg).run(&tiny_trace(seed), policy);
+        let a = summary.admission;
+        prop_assert!(a.submitted > 0);
+        prop_assert_eq!(
+            a.submitted,
+            a.admitted + a.shed_full + a.shed_unroutable,
+            "conservation broke: {:?}",
+            a
+        );
+        prop_assert!(
+            summary.conserves_jobs(),
+            "admitted != completed after drain: {:?} completed={}",
+            a,
+            summary.completed
+        );
+        // The bound is real: no node may ever have exceeded it at
+        // admission time (admitted minus completed-before can't be
+        // checked post-hoc, but a capacity-1 pair with a dense trace
+        // must shed).
+        if capacity == 1 {
+            prop_assert!(a.shed_full + a.shed_unroutable > 0, "expected shedding at capacity 1");
+        }
+    }
+}

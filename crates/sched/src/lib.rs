@@ -41,4 +41,4 @@ pub use driver::{Action, Driver, SysEvent, SystemView};
 pub use governor::GovernorMode;
 pub use metrics::RunMetrics;
 pub use process::{Pid, Process, ProcessState};
-pub use system::{System, SystemConfig};
+pub use system::{RunState, System, SystemConfig};

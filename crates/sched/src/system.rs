@@ -117,6 +117,37 @@ pub struct System {
     telemetry: Telemetry,
 }
 
+/// Bookkeeping for an in-progress incremental run (see
+/// [`System::begin_run`]). Owns the accruing [`RunMetrics`] plus the
+/// monitor/sample deadlines, so a coordinator can interleave
+/// [`System::step_until`] and [`System::inject_arrival`] across many
+/// systems while each keeps exactly the state [`System::run`] would have.
+#[derive(Debug)]
+pub struct RunState {
+    metrics: RunMetrics,
+    next_monitor: SimTime,
+    next_sample: SimTime,
+    last_finish: SimTime,
+    iterations: u64,
+}
+
+impl RunState {
+    /// The metrics accrued so far (finalized by [`System::finish_run`]).
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// Jobs completed so far.
+    pub fn completed(&self) -> usize {
+        self.metrics.completed.len()
+    }
+
+    /// Latest completion time seen so far.
+    pub fn last_finish(&self) -> SimTime {
+        self.last_finish
+    }
+}
+
 /// Outcome of applying driver actions (for introspection in tests).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ApplyStats {
@@ -193,6 +224,16 @@ impl System {
             .count()
     }
 
+    /// Total threads across live (waiting or running) processes — the
+    /// load signal cluster-level routing policies balance on.
+    pub fn live_threads(&self) -> usize {
+        self.procs
+            .values()
+            .filter(|p| p.state != ProcessState::Finished)
+            .map(|p| p.threads)
+            .sum()
+    }
+
     /// Cores currently assigned to running processes.
     pub fn busy_cores(&self) -> CoreSet {
         self.procs
@@ -228,49 +269,129 @@ impl System {
     /// Replays a workload trace to completion under `driver`, returning
     /// the run metrics. The system must be fresh (no live processes).
     ///
+    /// Implemented on the incremental stepping API ([`Self::begin_run`],
+    /// [`Self::step_until`], [`Self::inject_arrival`],
+    /// [`Self::run_to_completion`], [`Self::finish_run`]), which external
+    /// coordinators (the fleet layer) drive directly.
+    ///
     /// # Panics
     ///
     /// Panics if called on a system that already has live processes.
     pub fn run(&mut self, trace: &WorkloadTrace, driver: &mut dyn Driver) -> RunMetrics {
+        let mut st = self.begin_run(driver);
+        let mut arrivals = trace.arrivals.iter().peekable();
+        while let Some(a) = arrivals.peek() {
+            let t = a.at.max(self.now);
+            self.step_until(&mut st, driver, t);
+            while let Some(a) = arrivals.peek() {
+                if a.at <= self.now {
+                    let a = arrivals.next().expect("peeked");
+                    self.inject_arrival(&mut st, driver, a.bench, a.threads, a.scale);
+                } else {
+                    break;
+                }
+            }
+        }
+        self.run_to_completion(&mut st, driver);
+        self.finish_run(st)
+    }
+
+    /// Starts an incremental run: lets the driver initialize (e.g. switch
+    /// governor) and returns the bookkeeping that [`Self::step_until`] /
+    /// [`Self::run_to_completion`] advance. The system must be fresh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a system that already has live processes.
+    pub fn begin_run(&mut self, driver: &mut dyn Driver) -> RunState {
         assert!(
             self.live_processes() == 0,
-            "run() requires a fresh system; use a new System per run"
+            "begin_run() requires a fresh system; use a new System per run"
         );
-        let mut metrics = RunMetrics::default();
-        let mut arrivals = trace.arrivals.iter().peekable();
-        let mut next_monitor = self.now + self.config.monitor_interval;
-        let mut next_sample = self.now;
-        let mut last_finish = self.now;
-
-        // Let the driver initialize (e.g. switch governor) before work.
-        self.dispatch(driver, SysEvent::MonitorTick, &mut metrics);
+        let mut st = RunState {
+            metrics: RunMetrics::default(),
+            next_monitor: self.now + self.config.monitor_interval,
+            next_sample: self.now,
+            last_finish: self.now,
+            iterations: 0,
+        };
+        self.dispatch(driver, SysEvent::MonitorTick, &mut st.metrics);
         self.apply_governor();
+        st
+    }
 
-        let mut iterations: u64 = 0;
+    /// Submits a job mid-run as if it arrived from a trace at the current
+    /// simulation time: the driver sees [`SysEvent::ProcessArrived`],
+    /// admission runs, and the governor is re-applied. Returns the pid.
+    pub fn inject_arrival(
+        &mut self,
+        st: &mut RunState,
+        driver: &mut dyn Driver,
+        bench: avfs_workloads::Benchmark,
+        threads: usize,
+        scale: f64,
+    ) -> Pid {
+        let pid = self.submit(bench, threads, scale);
+        self.dispatch(driver, SysEvent::ProcessArrived(pid), &mut st.metrics);
+        self.try_admit();
+        self.apply_governor();
+        pid
+    }
+
+    /// Advances the simulation to exactly `horizon`, processing every
+    /// internal event (completions, monitor windows, samples, stall ends)
+    /// due strictly *before* it. Events due exactly at `horizon` are left
+    /// pending and fire at the start of the next stepping call — after any
+    /// [`Self::inject_arrival`] at `horizon` — which preserves the
+    /// arrivals-before-completions ordering of [`Self::run`] and gives
+    /// epoch-driven coordinators a deterministic injection point.
+    pub fn step_until(&mut self, st: &mut RunState, driver: &mut dyn Driver, horizon: SimTime) {
         loop {
-            iterations += 1;
-            assert!(
-                iterations < 2_000_000,
-                "event loop stuck at t={} with {} live processes",
-                self.now,
-                self.live_processes()
-            );
-            let all_arrived = arrivals.peek().is_none();
-            if all_arrived && self.live_processes() == 0 {
-                break;
+            if self.now >= horizon {
+                return;
+            }
+            self.bump_iterations(st);
+            self.process_due(st, driver);
+
+            // Candidate next event times, capped at the horizon.
+            let mut next = horizon;
+            if self.live_processes() > 0 {
+                next = next.min(st.next_monitor).min(st.next_sample);
+            } else {
+                // Sample through idle gaps too, for the Figure 15 traces.
+                next = next.min(st.next_sample);
+            }
+            for p in self.procs.values() {
+                if p.is_running() && p.stalled_until > self.now {
+                    next = next.min(p.stalled_until);
+                }
+            }
+            if let Some(t) = self.earliest_completion() {
+                next = next.min(t);
+            }
+            let next = next.max(self.now);
+
+            // Integrate the slice [now, next).
+            self.advance_to(next, &mut st.metrics);
+        }
+    }
+
+    /// Drains the system: processes events until no live process remains.
+    /// The counterpart of [`Self::step_until`] once all arrivals are in.
+    pub fn run_to_completion(&mut self, st: &mut RunState, driver: &mut dyn Driver) {
+        loop {
+            if self.live_processes() == 0 {
+                return;
+            }
+            self.bump_iterations(st);
+            self.process_due(st, driver);
+            if self.live_processes() == 0 {
+                return;
             }
 
-            // Candidate next event times.
-            let mut next = SimTime::MAX;
-            if let Some(a) = arrivals.peek() {
-                next = next.min(a.at.max(self.now));
-            }
-            if self.live_processes() > 0 {
-                next = next.min(next_monitor).min(next_sample);
-            } else if next_sample <= next {
-                // Sample through idle gaps too, for the Figure 15 traces.
-                next = next.min(next_sample);
-            }
+            // Candidate next event times (live > 0 here, so the monitor
+            // and sampler are always candidates).
+            let mut next = st.next_monitor.min(st.next_sample);
             for p in self.procs.values() {
                 if p.is_running() && p.stalled_until > self.now {
                     next = next.min(p.stalled_until);
@@ -281,90 +402,14 @@ impl System {
             }
             assert!(next < SimTime::MAX, "simulation stuck with no next event");
             let next = next.max(self.now);
-
-            // Integrate the slice [now, next).
-            self.advance_to(next, &mut metrics);
-
-            // Dispatch everything due at `next`.
-            while let Some(a) = arrivals.peek() {
-                if a.at <= self.now {
-                    let a = arrivals.next().expect("peeked");
-                    let pid = self.submit(a.bench, a.threads, a.scale);
-                    self.dispatch(driver, SysEvent::ProcessArrived(pid), &mut metrics);
-                    self.try_admit();
-                    self.apply_governor();
-                } else {
-                    break;
-                }
-            }
-
-            // Completions.
-            let finished: Vec<Pid> = self
-                .procs
-                .values()
-                .filter(|p| p.is_running() && p.progress >= 1.0 - 1e-9)
-                .map(|p| p.pid)
-                .collect();
-            for pid in finished {
-                let record = {
-                    let p = self.procs.get_mut(&pid).expect("finished pid");
-                    p.state = ProcessState::Finished;
-                    p.finished_at = Some(self.now);
-                    p.assigned = CoreSet::EMPTY;
-                    ProcessRecord {
-                        pid,
-                        arrived_at: p.arrived_at,
-                        finished_at: self.now,
-                        threads: p.threads,
-                        migrations: p.migrations,
-                    }
-                };
-                metrics.completed.push(record);
-                last_finish = self.now;
-                self.monitors.remove(&pid);
-                self.dispatch(driver, SysEvent::ProcessFinished(pid), &mut metrics);
-                self.try_admit();
-                self.apply_governor();
-            }
-
-            // Monitoring window.
-            if self.now >= next_monitor {
-                next_monitor = self.now + self.config.monitor_interval;
-                // Advance droop-excursion state *before* the driver is
-                // consulted, so an excursion opening at this boundary is
-                // visible (via `droop_alert`) in the very view the driver
-                // reacts to — no unsafe window ever elapses in sim time.
-                if let Some(plan) = self.chip.fault_plan_mut() {
-                    plan.droop_check();
-                }
-                let changes = self.close_monitor_windows();
-                self.dispatch(driver, SysEvent::MonitorTick, &mut metrics);
-                for (pid, class) in changes {
-                    self.telemetry.trace(TraceKind::Classification, || {
-                        vec![
-                            ("pid", Value::U64(pid.0)),
-                            (
-                                "class",
-                                Value::Str(match class {
-                                    IntensityClass::CpuIntensive => "cpu",
-                                    IntensityClass::MemoryIntensive => "memory",
-                                }),
-                            ),
-                        ]
-                    });
-                    self.dispatch(driver, SysEvent::ClassChanged(pid, class), &mut metrics);
-                }
-                self.apply_governor();
-            }
-
-            // Trace sampling.
-            if self.now >= next_sample {
-                next_sample = self.now + self.config.sample_interval;
-                self.record_sample(&mut metrics);
-            }
+            self.advance_to(next, &mut st.metrics);
         }
+    }
 
-        metrics.makespan = last_finish.saturating_since(SimTime::ZERO);
+    /// Finalizes an incremental run and returns its metrics.
+    pub fn finish_run(&mut self, st: RunState) -> RunMetrics {
+        let mut metrics = st.metrics;
+        metrics.makespan = st.last_finish.saturating_since(SimTime::ZERO);
         metrics.energy_j = self.energy_j;
         metrics.avg_power_w = if metrics.makespan.as_secs_f64() > 0.0 {
             self.energy_j / metrics.makespan.as_secs_f64()
@@ -376,6 +421,88 @@ impl System {
         metrics.unsafe_time_s = self.unsafe_time_s;
         metrics.failures = self.failures;
         metrics
+    }
+
+    /// Processes everything due at the current instant, in the fixed
+    /// event order: completions, then the monitoring window, then trace
+    /// sampling. (Arrivals, when due, are dispatched by the caller before
+    /// this runs — see [`Self::step_until`].)
+    fn process_due(&mut self, st: &mut RunState, driver: &mut dyn Driver) {
+        // Completions.
+        let finished: Vec<Pid> = self
+            .procs
+            .values()
+            .filter(|p| p.is_running() && p.progress >= 1.0 - 1e-9)
+            .map(|p| p.pid)
+            .collect();
+        for pid in finished {
+            let record = {
+                let p = self.procs.get_mut(&pid).expect("finished pid");
+                p.state = ProcessState::Finished;
+                p.finished_at = Some(self.now);
+                p.assigned = CoreSet::EMPTY;
+                ProcessRecord {
+                    pid,
+                    arrived_at: p.arrived_at,
+                    finished_at: self.now,
+                    threads: p.threads,
+                    migrations: p.migrations,
+                }
+            };
+            st.metrics.completed.push(record);
+            st.last_finish = self.now;
+            self.monitors.remove(&pid);
+            self.dispatch(driver, SysEvent::ProcessFinished(pid), &mut st.metrics);
+            self.try_admit();
+            self.apply_governor();
+        }
+
+        // Monitoring window.
+        if self.now >= st.next_monitor {
+            st.next_monitor = self.now + self.config.monitor_interval;
+            // Advance droop-excursion state *before* the driver is
+            // consulted, so an excursion opening at this boundary is
+            // visible (via `droop_alert`) in the very view the driver
+            // reacts to — no unsafe window ever elapses in sim time.
+            if let Some(plan) = self.chip.fault_plan_mut() {
+                plan.droop_check();
+            }
+            let changes = self.close_monitor_windows();
+            self.dispatch(driver, SysEvent::MonitorTick, &mut st.metrics);
+            for (pid, class) in changes {
+                self.telemetry.trace(TraceKind::Classification, || {
+                    vec![
+                        ("pid", Value::U64(pid.0)),
+                        (
+                            "class",
+                            Value::Str(match class {
+                                IntensityClass::CpuIntensive => "cpu",
+                                IntensityClass::MemoryIntensive => "memory",
+                            }),
+                        ),
+                    ]
+                });
+                self.dispatch(driver, SysEvent::ClassChanged(pid, class), &mut st.metrics);
+            }
+            self.apply_governor();
+        }
+
+        // Trace sampling.
+        if self.now >= st.next_sample {
+            st.next_sample = self.now + self.config.sample_interval;
+            self.record_sample(&mut st.metrics);
+        }
+    }
+
+    /// Guards against a wedged event loop.
+    fn bump_iterations(&self, st: &mut RunState) {
+        st.iterations += 1;
+        assert!(
+            st.iterations < 2_000_000,
+            "event loop stuck at t={} with {} live processes",
+            self.now,
+            self.live_processes()
+        );
     }
 
     /// Number of driver actions that were rejected as invalid.
@@ -1014,6 +1141,64 @@ mod tests {
         assert_eq!(m1.energy_j, m2.energy_j);
         assert_eq!(m1.makespan, m2.makespan);
         assert_eq!(m1.completed.len(), m2.completed.len());
+    }
+
+    #[test]
+    fn step_api_replay_is_bit_identical_to_run() {
+        // Driving the incremental stepping API by hand — step to each
+        // arrival time, inject, then drain — must reproduce run() to the
+        // last bit: run() is itself built on these primitives, and the
+        // fleet layer depends on the equivalence.
+        let trace = small_trace(23);
+        let reference = xgene2_system().run(&trace, &mut DefaultPolicy::ondemand());
+
+        let mut sys = xgene2_system();
+        let mut driver = DefaultPolicy::ondemand();
+        let mut st = sys.begin_run(&mut driver);
+        for a in &trace.arrivals {
+            let t = a.at.max(sys.now());
+            sys.step_until(&mut st, &mut driver, t);
+            sys.inject_arrival(&mut st, &mut driver, a.bench, a.threads, a.scale);
+        }
+        sys.run_to_completion(&mut st, &mut driver);
+        let stepped = sys.finish_run(st);
+
+        assert_eq!(reference.energy_j.to_bits(), stepped.energy_j.to_bits());
+        assert_eq!(reference.makespan, stepped.makespan);
+        assert_eq!(reference.completed.len(), stepped.completed.len());
+        assert_eq!(reference.migrations, stepped.migrations);
+        assert_eq!(reference.voltage_changes, stepped.voltage_changes);
+        for (a, b) in reference.completed.iter().zip(&stepped.completed) {
+            assert_eq!(a.pid, b.pid);
+            assert_eq!(a.finished_at, b.finished_at);
+        }
+    }
+
+    #[test]
+    fn idle_stepping_to_intermediate_horizons_still_drains() {
+        // Horizons that land between events (an epoch grid rather than
+        // the arrival grid) must not wedge or drop work.
+        let trace = small_trace(7);
+        let mut sys = xgene2_system();
+        let mut driver = DefaultPolicy::ondemand();
+        let mut st = sys.begin_run(&mut driver);
+        let mut i = 0;
+        let epoch = SimDuration::from_millis(250);
+        let mut horizon = SimTime::ZERO + epoch;
+        while i < trace.arrivals.len() {
+            sys.step_until(&mut st, &mut driver, horizon);
+            while i < trace.arrivals.len() && trace.arrivals[i].at <= sys.now() {
+                let a = &trace.arrivals[i];
+                sys.inject_arrival(&mut st, &mut driver, a.bench, a.threads, a.scale);
+                i += 1;
+            }
+            horizon += epoch;
+        }
+        sys.run_to_completion(&mut st, &mut driver);
+        let m = sys.finish_run(st);
+        assert_eq!(m.completed.len(), trace.len());
+        assert_eq!(sys.live_processes(), 0);
+        assert!(m.energy_j > 0.0);
     }
 
     #[test]

@@ -174,6 +174,10 @@ pub enum TraceKind {
     DroopGuard,
     /// The migration watchdog rescued a wedged migration.
     Watchdog,
+    /// The fleet front door routed a job to a node.
+    FleetRoute,
+    /// The fleet front door shed a job (no node could admit it).
+    FleetShed,
 }
 
 impl TraceKind {
@@ -190,6 +194,8 @@ impl TraceKind {
             TraceKind::RecoveryTransition => "recovery_transition",
             TraceKind::DroopGuard => "droop_guard",
             TraceKind::Watchdog => "watchdog",
+            TraceKind::FleetRoute => "fleet_route",
+            TraceKind::FleetShed => "fleet_shed",
         }
     }
 }
@@ -218,6 +224,14 @@ impl TraceEvent {
     /// codec is hand-rolled: the workspace's `serde` is an offline
     /// marker shim (see `shims/serde`).
     pub fn to_json_line(&self) -> String {
+        self.to_json_line_tagged(None)
+    }
+
+    /// Like [`Self::to_json_line`], with an optional extra integer field
+    /// injected right after `kind`. Used by multi-hub aggregators (the
+    /// fleet journal) to tag each line with its source without touching
+    /// the recorded event.
+    pub fn to_json_line_tagged(&self, tag: Option<(&'static str, u64)>) -> String {
         let mut out = String::with_capacity(96);
         let _ = write!(
             out,
@@ -226,6 +240,9 @@ impl TraceEvent {
             self.at.as_nanos(),
             self.kind.as_str()
         );
+        if let Some((name, value)) = tag {
+            let _ = write!(out, ",\"{name}\":{value}");
+        }
         for (name, value) in &self.fields {
             out.push_str(",\"");
             write_json_escaped(&mut out, name);
@@ -424,6 +441,18 @@ impl TelemetryHub {
         let mut out = String::with_capacity(self.journal.len() * 96);
         for event in &self.journal {
             out.push_str(&event.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// [`Self::export_jsonl`] with every line tagged by an extra integer
+    /// field (e.g. `"node":3`) so journals from several hubs can be
+    /// concatenated without losing provenance.
+    pub fn export_jsonl_tagged(&self, name: &'static str, value: u64) -> String {
+        let mut out = String::with_capacity(self.journal.len() * 96);
+        for event in &self.journal {
+            out.push_str(&event.to_json_line_tagged(Some((name, value))));
             out.push('\n');
         }
         out

@@ -15,7 +15,8 @@ echo "==> cargo clippy"
 # avfs-analyze lint ratchet below is their enforcement point.
 cargo clippy -q --all-targets \
   -p avfs-sim -p avfs-chip -p avfs-workloads -p avfs-sched \
-  -p avfs-core -p avfs-experiments -p avfs-bench -p avfs-analyze \
+  -p avfs-core -p avfs-telemetry -p avfs-fleet \
+  -p avfs-experiments -p avfs-bench -p avfs-analyze \
   -- -D warnings \
   -A clippy::unwrap_used -A clippy::expect_used \
   -A clippy::float_cmp -A clippy::cast-possible-truncation
@@ -32,11 +33,17 @@ cargo run -q -p avfs-analyze -- race --schedules 160
 echo "==> avfs-analyze race (96 schedules, 10% fault rate)"
 cargo run -q -p avfs-analyze -- race --schedules 96 --seed 4195287042 --fault-rate 0.10
 
+echo "==> avfs-analyze fleet (cluster invariants + worker determinism)"
+cargo run -q --release -p avfs-analyze -- fleet
+
 echo "==> cargo test"
 cargo test -q --workspace
 
 echo "==> resilience smoke soak (seeded fault injection)"
 cargo run -q --release -p avfs-experiments --bin exp -- resilience --smoke > /dev/null
+
+echo "==> fleet smoke (cluster eval acceptance + worker-count determinism gate)"
+cargo run -q --release -p avfs-experiments --bin exp -- fleet --smoke > /dev/null
 
 echo "==> trace determinism (byte-identical journals across identical seeded runs)"
 trace_dir="$(mktemp -d)"
