@@ -1,0 +1,61 @@
+//! Minimal JSON rendering for `--format json`.
+//!
+//! The analyze crate deliberately has no serde dependency (its reports
+//! are flat and hand-renderable), so this module provides the two
+//! primitives every renderer needs: string escaping and array joining.
+//! Renderers build objects with `format!` and these helpers; all key
+//! sets are static, so the output is deterministic by construction.
+
+/// Escapes a string for embedding in a JSON string literal (quotes not
+/// included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a quoted JSON string.
+pub fn string(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+/// Renders a JSON array of pre-rendered values.
+pub fn array(items: &[String]) -> String {
+    format!("[{}]", items.join(","))
+}
+
+/// Renders a JSON array of strings (each gets quoted and escaped).
+pub fn string_array(items: &[String]) -> String {
+    let rendered: Vec<String> = items.iter().map(|s| string(s)).collect();
+    array(&rendered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_backslashes_and_control_chars() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{01}"), "\\u0001");
+    }
+
+    #[test]
+    fn renders_string_arrays() {
+        let items = vec!["plain".to_string(), "with \"quote\"".to_string()];
+        assert_eq!(string_array(&items), r#"["plain","with \"quote\""]"#);
+        assert_eq!(string_array(&[]), "[]");
+    }
+}

@@ -28,21 +28,45 @@
 //!   conservation through admission/shedding/drain, per-node safety
 //!   under cluster-induced load, aggregate consistency, and the
 //!   byte-identical-across-worker-counts determinism contract.
+//! * [`model`] + [`statespace`] + [`shrink`] — a bounded explicit-state
+//!   model checker over the Daemon↔Chip↔Sched shared state: exhaustive
+//!   enumeration of every event interleaving up to a depth bound, with
+//!   dynamic partial-order reduction (verified-commuting pairs explored
+//!   once) and a state-fingerprint cache. Where [`race`] *samples*
+//!   schedules, [`model`] *enumerates* them — a clean run at depth `d`
+//!   is a proof over every reachable behaviour of length ≤ `d`.
+//!   Violating schedules are ddmin-shrunk to a 1-minimal, seedlessly
+//!   replayable counterexample.
+//! * [`proof`] — exhaustive enumeration of the finite voltage-policy
+//!   domain (frequency class × utilized PMDs × threads × intensity ×
+//!   droop guard × recovery state) proving the chooser never
+//!   undervolts the physical worst case and never costs more power
+//!   than nominal, cell by cell.
 //!
-//! Run all three from the binary:
+//! Run everything from the binary:
 //!
 //! ```text
 //! cargo run -p avfs-analyze -- invariants
 //! cargo run -p avfs-analyze -- lint
 //! cargo run -p avfs-analyze -- race --schedules 128
+//! cargo run -p avfs-analyze -- model --depth 6
+//! cargo run -p avfs-analyze -- prove-policy
 //! ```
+//!
+//! Every subcommand accepts `--format json` and exits 0 (clean),
+//! 1 (violations), or 2 (usage error).
 
 pub mod context;
 pub mod fleet;
 pub mod invariant;
 pub mod invariants;
+pub mod jsonout;
 pub mod lint;
+pub mod model;
+pub mod proof;
 pub mod race;
+pub mod shrink;
+pub mod statespace;
 
 pub use context::AnalysisContext;
 pub use invariant::{check_all, registry, Invariant, Violation};

@@ -14,18 +14,28 @@
 //!   wrapping a millivolt or MHz value corrupts safety margins;
 //! * raw integer unit parameters (`mv: u32`, `mhz: u64`) in function
 //!   signatures — the `Millivolts`/`FrequencyMhz` newtypes exist so unit
-//!   mix-ups fail to compile instead of corrupting a rail request.
+//!   mix-ups fail to compile instead of corrupting a rail request;
+//! * `Instant::now` / `SystemTime::now` — wall-clock reads in
+//!   sim-clocked library code make runs irreproducible (the sim clock
+//!   and seeded RNG streams are the only time/randomness sources);
+//! * `HashMap` / `HashSet` in journal/export/fingerprint paths —
+//!   iteration order is randomized per process, so any serialization or
+//!   hashing that walks one breaks byte-identical determinism (use the
+//!   `BTree` forms).
 //!
 //! Existing occurrences are frozen in `crates/analyze/lint-allowlist.txt`
 //! (a ratchet: counts may only go down); anything above the allowlisted
-//! count fails the run. Test modules (`#[cfg(test)]`), `tests/`,
-//! `benches/`, `examples/`, and the offline dependency shims are exempt.
+//! count fails the run, and an allowlist entry above the current count
+//! fails too — the ratchet must be tightened as debt is paid. Test
+//! modules (`#[cfg(test)]`), `tests/`, `benches/`, `examples/`, and the
+//! offline dependency shims are exempt.
 
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-/// One lint rule: a name and a per-line matcher.
+/// One lint rule: a name, a per-line matcher, and an optional path
+/// scope.
 #[derive(Debug, Clone, Copy)]
 pub struct Rule {
     /// Stable rule id, used in the allowlist.
@@ -33,6 +43,10 @@ pub struct Rule {
     /// What the rule guards against.
     pub rationale: &'static str,
     matcher: fn(&str) -> usize,
+    /// When set, the rule only applies to paths the filter accepts
+    /// (e.g. determinism rules scoped to journal/export/fingerprint
+    /// code). `None` applies everywhere.
+    path_filter: Option<fn(&str) -> bool>,
 }
 
 /// A lint hit in one file.
@@ -65,14 +79,18 @@ pub struct LintReport {
     pub findings: Vec<Finding>,
     /// (rule, path, found, allowed) tuples exceeding the allowlist.
     pub new_violations: Vec<(String, String, usize, usize)>,
+    /// (rule, path, found, allowed) allowlist entries whose debt has
+    /// shrunk below the frozen count — the ratchet must be tightened.
+    pub stale: Vec<(String, String, usize, usize)>,
     /// Files scanned.
     pub files: usize,
 }
 
 impl LintReport {
-    /// True when nothing exceeds the allowlist.
+    /// True when nothing exceeds the allowlist and no allowlist entry
+    /// has gone stale.
     pub fn is_clean(&self) -> bool {
-        self.new_violations.is_empty()
+        self.new_violations.is_empty() && self.stale.is_empty()
     }
 }
 
@@ -151,6 +169,34 @@ fn raw_unit_param_matcher(line: &str) -> usize {
         .sum()
 }
 
+/// Flags wall-clock reads: sim-clocked code must take time from the
+/// simulation clock, never the host.
+fn wall_clock_matcher(line: &str) -> usize {
+    count_occurrences(line, "Instant::now") + count_occurrences(line, "SystemTime::now")
+}
+
+/// Flags randomized-iteration-order collections.
+fn hash_order_matcher(line: &str) -> usize {
+    count_occurrences(line, "HashMap") + count_occurrences(line, "HashSet")
+}
+
+/// Paths whose output must be byte-identical across runs: journals,
+/// exports, fingerprints/digests, JSON rendering, trace files.
+fn is_determinism_sensitive_path(path: &str) -> bool {
+    let lower = path.to_lowercase();
+    [
+        "journal",
+        "export",
+        "fingerprint",
+        "statespace",
+        "json",
+        "digest",
+        "trace",
+    ]
+    .iter()
+    .any(|kw| lower.contains(kw))
+}
+
 /// The rule set, in report order.
 pub fn rules() -> Vec<Rule> {
     vec![
@@ -158,31 +204,49 @@ pub fn rules() -> Vec<Rule> {
             name: "unwrap",
             rationale: "panicking accessor in library code",
             matcher: |line| count_occurrences(line, ".unwrap()"),
+            path_filter: None,
         },
         Rule {
             name: "expect",
             rationale: "panicking accessor in library code",
             matcher: |line| count_occurrences(line, ".expect("),
+            path_filter: None,
         },
         Rule {
             name: "float-eq",
             rationale: "exact float comparison against a literal",
             matcher: float_eq_matcher,
+            path_filter: None,
         },
         Rule {
             name: "thread-sleep",
             rationale: "wall-clock sleep inside sim-clocked code",
             matcher: |line| count_occurrences(line, "thread::sleep"),
+            path_filter: None,
         },
         Rule {
             name: "narrowing-cast",
             rationale: "truncating cast on a voltage/frequency quantity",
             matcher: narrowing_cast_matcher,
+            path_filter: None,
         },
         Rule {
             name: "raw-unit-param",
             rationale: "raw integer unit parameter instead of a unit newtype",
             matcher: raw_unit_param_matcher,
+            path_filter: None,
+        },
+        Rule {
+            name: "wall-clock",
+            rationale: "wall-clock read inside sim-clocked code",
+            matcher: wall_clock_matcher,
+            path_filter: None,
+        },
+        Rule {
+            name: "hash-order",
+            rationale: "randomized iteration order in a determinism-sensitive path",
+            matcher: hash_order_matcher,
+            path_filter: Some(is_determinism_sensitive_path),
         },
     ]
 }
@@ -221,9 +285,15 @@ fn strip_comments_and_strings(line: &str) -> String {
 }
 
 /// Scans one file's source, skipping `#[cfg(test)]` regions via brace
-/// tracking.
-fn scan_source(rules: &[Rule], rel_path: &str, source: &str) -> Vec<Finding> {
+/// tracking. Rules with a path filter only fire when `rel_path`
+/// matches. Public so the matcher tests can drive it on fixture
+/// strings.
+pub fn scan_source(rules: &[Rule], rel_path: &str, source: &str) -> Vec<Finding> {
     let mut findings = Vec::new();
+    let rules: Vec<&Rule> = rules
+        .iter()
+        .filter(|r| r.path_filter.is_none_or(|f| f(rel_path)))
+        .collect();
     // Depth of the brace nesting, and the depth at which a #[cfg(test)]
     // region opened (None when not inside one).
     let mut depth: i64 = 0;
@@ -258,7 +328,7 @@ fn scan_source(rules: &[Rule], rel_path: &str, source: &str) -> Vec<Finding> {
             continue;
         }
 
-        for rule in rules {
+        for rule in &rules {
             let hits = (rule.matcher)(&line);
             for _ in 0..hits {
                 findings.push(Finding {
@@ -362,21 +432,36 @@ pub fn run(root: &Path, allowlist: &[(String, String, usize)]) -> LintReport {
         report.findings.extend(scan_source(&rules, &rel, &source));
     }
 
-    // Ratchet comparison: per (rule, path), found must not exceed allowed.
+    // Ratchet comparison: per (rule, path), found must not exceed
+    // allowed — and allowed must not exceed found, or the allowlist has
+    // gone stale and must be tightened to the new count.
     let mut counts: std::collections::BTreeMap<(String, String), usize> = Default::default();
     for f in &report.findings {
         *counts
             .entry((f.rule.to_string(), f.path.clone()))
             .or_default() += 1;
     }
-    for ((rule, path), found) in counts {
+    for ((rule, path), &found) in &counts {
         let allowed = allowlist
             .iter()
-            .find(|(r, p, _)| *r == rule && *p == path)
+            .find(|(r, p, _)| r == rule && p == path)
             .map(|&(_, _, c)| c)
             .unwrap_or(0);
         if found > allowed {
-            report.new_violations.push((rule, path, found, allowed));
+            report
+                .new_violations
+                .push((rule.clone(), path.clone(), found, allowed));
+        }
+    }
+    for (rule, path, allowed) in allowlist {
+        let found = counts
+            .get(&(rule.clone(), path.clone()))
+            .copied()
+            .unwrap_or(0);
+        if found < *allowed {
+            report
+                .stale
+                .push((rule.clone(), path.clone(), found, *allowed));
         }
     }
     report
@@ -466,6 +551,50 @@ mod tests {
             parsed,
             vec![("unwrap".to_string(), "crates/x/src/lib.rs".to_string(), 2)]
         );
+    }
+
+    #[test]
+    fn wall_clock_reads_are_flagged_everywhere() {
+        let src =
+            "fn f() {\n    let t = Instant::now();\n    let s = std::time::SystemTime::now();\n}\n";
+        let findings = scan_source(&rules(), "crates/sim/src/clock.rs", src);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().all(|f| f.rule == "wall-clock"));
+    }
+
+    #[test]
+    fn hash_collections_are_flagged_only_in_determinism_paths() {
+        let src =
+            "use std::collections::HashMap;\nfn f() { let s: HashSet<u32> = HashSet::new(); }\n";
+        let sensitive = scan_source(&rules(), "crates/telemetry/src/journal.rs", src);
+        assert_eq!(sensitive.len(), 3, "{sensitive:?}");
+        assert!(sensitive.iter().all(|f| f.rule == "hash-order"));
+        // The same source outside a determinism-sensitive path is fine.
+        assert!(scan_source(&rules(), "crates/core/src/daemon.rs", src).is_empty());
+    }
+
+    #[test]
+    fn stale_allowlist_entries_fail_the_run() {
+        let root = workspace_root();
+        // A rule/path pair that certainly has zero current findings.
+        let allowlist = vec![(
+            "unwrap".to_string(),
+            "crates/does-not-exist/src/lib.rs".to_string(),
+            3,
+        )];
+        let report = run(&root, &allowlist);
+        assert!(
+            report
+                .stale
+                .iter()
+                .any(|(r, p, found, allowed)| r == "unwrap"
+                    && p == "crates/does-not-exist/src/lib.rs"
+                    && *found == 0
+                    && *allowed == 3),
+            "{:?}",
+            report.stale
+        );
+        assert!(!report.is_clean());
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! Delta-debugging counterexample shrinking.
+//!
+//! A violating schedule from the model checker is as long as the DFS
+//! path that found it; most of its events are incidental. [`shrink`]
+//! runs classic ddmin over the event list: repeatedly try removing
+//! chunks (halving granularity down to single events) and keep any
+//! candidate that still reproduces a violation when replayed from a
+//! fresh world. Because [`crate::statespace::ModelEvent`] addresses
+//! processes by slot and carries no pids or seeds, *any* subsequence of
+//! a schedule is itself a well-formed schedule — a candidate that
+//! orphans a slot reference simply fails to apply and is rejected as
+//! non-reproducing. The result is 1-minimal: removing any single
+//! remaining event loses the violation.
+
+use crate::statespace::{ModelEvent, World};
+
+/// Replays `schedule` from a clone of `initial`. Returns the violations
+/// of the first failing event, or `None` when the schedule runs clean
+/// or contains an inapplicable event.
+pub fn replay(initial: &World, schedule: &[ModelEvent]) -> Option<Vec<String>> {
+    let mut world = initial.clone();
+    for &event in schedule {
+        let report = world.apply_event(event)?;
+        if !report.violations.is_empty() {
+            return Some(report.violations);
+        }
+    }
+    None
+}
+
+/// Minimizes `schedule` (which must reproduce a violation from
+/// `initial`) to a 1-minimal subsequence, returning it together with
+/// the violations its replay produces. A non-reproducing input is
+/// returned unchanged with empty violations.
+pub fn shrink(initial: &World, schedule: &[ModelEvent]) -> (Vec<ModelEvent>, Vec<String>) {
+    let mut current: Vec<ModelEvent> = schedule.to_vec();
+    if replay(initial, &current).is_none() {
+        return (current, Vec::new());
+    }
+    let mut granularity = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            // Complement: drop current[start..end].
+            let candidate: Vec<ModelEvent> = current[..start]
+                .iter()
+                .chain(current[end..].iter())
+                .copied()
+                .collect();
+            if !candidate.is_empty() && replay(initial, &candidate).is_some() {
+                current = candidate;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if granularity >= current.len() {
+                // Single-event removals all failed: 1-minimal.
+                break;
+            }
+            granularity = (granularity * 2).min(current.len());
+        }
+    }
+    let violations = replay(initial, &current).unwrap_or_default();
+    (current, violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avfs_core::daemon::Daemon;
+    use avfs_workloads::classify::IntensityClass;
+
+    fn broken_world() -> World {
+        let chip = avfs_chip::presets::xgene2().build();
+        let mut daemon = Daemon::optimal(&chip);
+        daemon.set_fail_safe_ordering(false);
+        World::new(chip, daemon, 2)
+    }
+
+    fn clean_world() -> World {
+        let chip = avfs_chip::presets::xgene2().build();
+        let daemon = Daemon::optimal(&chip);
+        World::new(chip, daemon, 2)
+    }
+
+    #[test]
+    fn replay_is_clean_on_the_correct_daemon() {
+        let w = clean_world();
+        let schedule = vec![
+            ModelEvent::Tick,
+            ModelEvent::Arrive {
+                threads: 2,
+                class: IntensityClass::MemoryIntensive,
+            },
+            ModelEvent::Tick,
+            ModelEvent::Flip { slot: 0 },
+        ];
+        assert!(replay(&w, &schedule).is_none());
+    }
+
+    #[test]
+    fn replay_rejects_inapplicable_subsequences() {
+        let w = clean_world();
+        // Finish with no live process: inapplicable, not a violation.
+        assert!(replay(&w, &[ModelEvent::Finish { slot: 0 }]).is_none());
+    }
+
+    #[test]
+    fn shrink_returns_nonreproducing_input_unchanged() {
+        let w = clean_world();
+        let schedule = vec![ModelEvent::Tick, ModelEvent::Tick];
+        let (kept, violations) = shrink(&w, &schedule);
+        assert_eq!(kept, schedule);
+        assert!(violations.is_empty());
+    }
+
+    #[test]
+    fn shrunken_schedule_is_one_minimal_and_reproduces() {
+        let w = broken_world();
+        // A deliberately padded schedule around the known hazard: settle
+        // low on a memory-intensive process, then flip it to
+        // cpu-intensive (steps raise before the lazy voltage catches up).
+        let padded = vec![
+            ModelEvent::Tick,
+            ModelEvent::Arrive {
+                threads: 1,
+                class: IntensityClass::CpuIntensive,
+            },
+            ModelEvent::Finish { slot: 0 },
+            ModelEvent::Arrive {
+                threads: 2,
+                class: IntensityClass::MemoryIntensive,
+            },
+            ModelEvent::Tick,
+            ModelEvent::Tick,
+            ModelEvent::Flip { slot: 0 },
+        ];
+        assert!(
+            replay(&w, &padded).is_some(),
+            "padded schedule must reproduce for this test to be meaningful"
+        );
+        let (shrunk, violations) = shrink(&w, &padded);
+        assert!(!violations.is_empty());
+        assert!(shrunk.len() < padded.len(), "{shrunk:?}");
+        // 1-minimality: dropping any single event loses the violation.
+        for skip in 0..shrunk.len() {
+            let candidate: Vec<ModelEvent> = shrunk
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, &e)| e)
+                .collect();
+            assert!(
+                replay(&w, &candidate).is_none(),
+                "dropping event {skip} still reproduces: {candidate:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! End-to-end tests for the bounded model checker and the policy-domain
+//! prover: the clean daemon proves clean, a deliberately broken daemon
+//! ordering yields a short shrunken counterexample that replays, and a
+//! broken voltage chooser fails the proof with exact cell coordinates.
+
+use avfs_analyze::model::{check, check_world, ModelOptions};
+use avfs_analyze::proof::{prove, prove_preset_with};
+use avfs_analyze::shrink::replay;
+use avfs_analyze::statespace::World;
+use avfs_chip::freq::FreqVminClass;
+use avfs_chip::voltage::Millivolts;
+use avfs_core::daemon::Daemon;
+
+fn broken_world() -> World {
+    let chip = avfs_chip::presets::xgene2().build();
+    let mut daemon = Daemon::optimal(&chip);
+    // The ablation knob: without raise-before ordering the daemon
+    // reconciles voltage lazily, so a frequency raise can land on a
+    // rail still parked at the previous (lower) safe voltage.
+    daemon.set_fail_safe_ordering(false);
+    World::new(chip, daemon, 2)
+}
+
+#[test]
+fn exhaustive_depth_six_is_clean_on_both_presets() {
+    let report = check(&ModelOptions {
+        depth: 6,
+        max_procs: 2,
+        dpor: true,
+    });
+    assert!(report.is_clean());
+    for p in &report.presets {
+        assert!(p.states > 50, "{p}");
+        assert!(p.dpor_skips > 0, "{p}");
+        assert!(p.reduction_factor() > 1.0, "{p}");
+        assert!(p.cache_hits > 0, "{p}");
+    }
+}
+
+#[test]
+fn broken_ordering_yields_a_short_replayable_counterexample() {
+    let root = broken_world();
+    let report = check_world(
+        "X-Gene 2 (fail-safe ordering off)",
+        &root,
+        &ModelOptions {
+            depth: 6,
+            max_procs: 2,
+            dpor: true,
+        },
+    );
+    let cx = report
+        .counterexample
+        .as_ref()
+        .unwrap_or_else(|| panic!("ablated daemon must violate within depth 6: {report}"));
+    assert!(!cx.violations.is_empty());
+    assert!(
+        cx.schedule.len() <= 8,
+        "shrunken counterexample too long: {} events",
+        cx.schedule.len()
+    );
+    assert!(cx.schedule.len() <= cx.original_len);
+
+    // The schedule replays seedlessly from a fresh world and reproduces
+    // the same class of violation.
+    let replayed = replay(&root, &cx.schedule);
+    assert_eq!(replayed, Some(cx.violations.clone()), "{cx}");
+
+    // 1-minimality: dropping any single event loses the violation.
+    for skip in 0..cx.schedule.len() {
+        let candidate: Vec<_> = cx
+            .schedule
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != skip)
+            .map(|(_, &e)| e)
+            .collect();
+        assert!(
+            replay(&root, &candidate).is_none(),
+            "dropping event {skip} still reproduces"
+        );
+    }
+}
+
+#[test]
+fn counterexample_display_is_a_replayable_recipe() {
+    let root = broken_world();
+    let report = check_world("ablated", &root, &ModelOptions::default());
+    let cx = report
+        .counterexample
+        .as_ref()
+        .unwrap_or_else(|| panic!("expected a counterexample"));
+    let rendered = format!("{cx}");
+    assert!(
+        rendered.contains("replay from a fresh system"),
+        "{rendered}"
+    );
+    assert!(rendered.contains("violated:"), "{rendered}");
+    // Every step is numbered.
+    for i in 1..=cx.schedule.len() {
+        assert!(rendered.contains(&format!("{i}. ")), "{rendered}");
+    }
+}
+
+#[test]
+fn prove_policy_is_exhaustive_and_clean() {
+    let report = prove();
+    assert!(report.is_clean(), "{report}");
+    // The exact domain sizes: 3 freq classes x sum over u of the
+    // feasible thread band x 2 intensity classes x 2 droop x 3 recovery.
+    assert_eq!(report.presets[0].cells, 504, "X-Gene 2");
+    assert_eq!(report.presets[1].cells, 5472, "X-Gene 3");
+    assert_eq!(report.cells(), 5976);
+}
+
+#[test]
+fn undervolting_chooser_fails_with_coordinates() {
+    let chip = avfs_chip::presets::xgene3().build();
+    let daemon = Daemon::optimal(&chip);
+    // Shave 30 mV off every choice: guaranteed to dip below some
+    // cell's physical worst-case Vmin.
+    let chooser = |fc: FreqVminClass, u: usize, t: usize, dg: bool, pess: bool| {
+        daemon
+            .chosen_voltage(fc, u, t, dg, pess)
+            .saturating_sub(Millivolts::new(30))
+    };
+    let report = prove_preset_with("X-Gene 3", &chip, &chooser);
+    assert!(!report.is_clean());
+    assert!(report.min_guardband_mv < 0);
+    let sample = &report.violations[0];
+    for needle in [
+        "X-Gene 3",
+        "fc=",
+        "u=",
+        "t=",
+        "droop=",
+        "recovery=",
+        "chosen",
+    ] {
+        assert!(sample.contains(needle), "{sample}");
+    }
+}

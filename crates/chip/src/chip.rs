@@ -129,6 +129,23 @@ impl Chip {
         &self.spec
     }
 
+    /// A cheap, deterministic digest of the chip's *mutable control
+    /// state*: rail millivolts, the per-PMD frequency program, and the
+    /// droop-excursion flag. Calibrated models and the spec are
+    /// construction-time constants and deliberately excluded, as are the
+    /// PMU and mailbox statistics (observational, not control state).
+    /// Used by `avfs-analyze`'s model checker to fingerprint explored
+    /// states.
+    pub fn state_digest(&self) -> u64 {
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        h = (h ^ u64::from(self.rail.current().as_mv())).wrapping_mul(FNV_PRIME);
+        for step in &self.pmd_steps {
+            h = (h ^ u64::from(step.numerator())).wrapping_mul(FNV_PRIME);
+        }
+        (h ^ u64::from(self.droop_excursion_active())).wrapping_mul(FNV_PRIME)
+    }
+
     /// The CPPC firmware behaviour of this part.
     pub fn behavior(&self) -> CppcBehavior {
         self.behavior

@@ -25,10 +25,12 @@ use crate::recovery::{FaultDecision, Recovery, RecoveryConfig, RecoveryState};
 use avfs_chip::chip::Chip;
 use avfs_chip::freq::{CppcBehavior, FreqStep, FreqVminClass};
 use avfs_chip::topology::{ChipSpec, CoreSet, PmdId};
+use avfs_chip::voltage::Millivolts;
 use avfs_sched::driver::{Action, Driver, SysEvent, SystemView};
 use avfs_sched::governor::GovernorMode;
 use avfs_sched::process::{Pid, ProcessState};
 use avfs_telemetry::{CounterRegistry, Telemetry, TraceKind, Value};
+use avfs_workloads::classify::IntensityClass;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -322,6 +324,68 @@ impl Daemon {
             }
     }
 
+    /// The voltage the policy chooses for one configuration cell: the
+    /// characterized table entry for (`freq_class`, `utilized_pmds`,
+    /// `threads`), raised by the margin in effect (`droop_guard` adds
+    /// the droop-emergency bump), capped at nominal — or pinned to
+    /// nominal outright while recovery is degraded (`pessimize`).
+    ///
+    /// This is the *exact* chooser `replan` and the lazy ablated path
+    /// use, factored out as a pure function of the daemon's static
+    /// configuration so `avfs-analyze prove-policy` can sweep it over
+    /// the entire finite policy domain.
+    pub fn chosen_voltage(
+        &self,
+        freq_class: FreqVminClass,
+        utilized_pmds: usize,
+        threads: usize,
+        droop_guard: bool,
+        pessimize: bool,
+    ) -> Millivolts {
+        if pessimize {
+            // Safe mode / probation: no undervolting until the mailbox
+            // has proven itself through a clean window.
+            return self.table.nominal();
+        }
+        let margin = self.config.extra_margin_mv
+            + if droop_guard {
+                self.config.recovery.droop_emergency_mv
+            } else {
+                0
+            };
+        self.table
+            .safe_voltage_for_pmds(freq_class, utilized_pmds.max(1), threads.max(1))
+            .offset(margin as i32)
+            .min(self.table.nominal())
+    }
+
+    /// Deterministic fingerprint of the daemon's control-relevant
+    /// mutable state: the init latch, the droop guard, the recovery
+    /// machine, and the class tracker. Activity counters and telemetry
+    /// are observational and deliberately excluded — two daemons with
+    /// equal fingerprints plan identically on equal views.
+    pub fn control_fingerprint(&self) -> u64 {
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn mix(h: u64, v: u64) -> u64 {
+            (h ^ v).wrapping_mul(FNV_PRIME)
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        h = mix(h, u64::from(self.initialized));
+        h = mix(h, u64::from(self.droop_guard));
+        h = mix(h, self.recovery.fingerprint());
+        for (pid, class) in self.tracker.entries() {
+            h = mix(h, pid.0);
+            h = mix(
+                h,
+                match class {
+                    IntensityClass::CpuIntensive => 0,
+                    IntensityClass::MemoryIntensive => 1,
+                },
+            );
+        }
+        h
+    }
+
     /// The daemon's configuration name as an owned string (used by the
     /// threaded service handle).
     pub fn name_owned(&self) -> String {
@@ -452,22 +516,21 @@ impl Daemon {
             let fc_target = self.freq_class_of(&new_steps, &target_util);
             let fc_transition = fc_now.max(fc_target);
 
-            let mut transition_v = self
-                .table
-                .safe_voltage_for_pmds(fc_transition, union_util.len().max(1), margin_threads)
-                .offset(self.margin_mv() as i32)
-                .min(self.table.nominal());
-            let mut final_v = self
-                .table
-                .safe_voltage_for_pmds(fc_target, target_util.len().max(1), threads_target.max(1))
-                .offset(self.margin_mv() as i32)
-                .min(self.table.nominal());
-            if self.recovery.pessimize_voltage() {
-                // Safe mode / probation: no undervolting until the
-                // mailbox has proven itself through a clean window.
-                transition_v = self.table.nominal();
-                final_v = self.table.nominal();
-            }
+            let pessimize = self.recovery.pessimize_voltage();
+            let transition_v = self.chosen_voltage(
+                fc_transition,
+                union_util.len(),
+                margin_threads,
+                self.droop_guard,
+                pessimize,
+            );
+            let final_v = self.chosen_voltage(
+                fc_target,
+                target_util.len(),
+                threads_target,
+                self.droop_guard,
+                pessimize,
+            );
 
             if self.config.fail_safe_ordering && transition_v > view.voltage {
                 actions.push(Action::SetVoltage(transition_v));
@@ -545,14 +608,13 @@ impl Daemon {
         let busy = view.busy_cores();
         let util = busy.utilized_pmds(&self.spec);
         let fc = self.freq_class_of(&view.pmd_steps, &util);
-        let target = if self.recovery.pessimize_voltage() {
-            self.table.nominal()
-        } else {
-            self.table
-                .safe_voltage_for_pmds(fc, util.len().max(1), busy.len().max(1))
-                .offset(self.margin_mv() as i32)
-                .min(self.table.nominal())
-        };
+        let target = self.chosen_voltage(
+            fc,
+            util.len(),
+            busy.len(),
+            self.droop_guard,
+            self.recovery.pessimize_voltage(),
+        );
         if target == view.voltage {
             return Vec::new();
         }

@@ -58,6 +58,12 @@ impl ClassTracker {
         self.classes.insert(pid, class);
     }
 
+    /// Tracked `(pid, class)` pairs in pid order (deterministic across
+    /// runs; used for control-state fingerprinting).
+    pub fn entries(&self) -> impl Iterator<Item = (Pid, IntensityClass)> + '_ {
+        self.classes.iter().map(|(&pid, &class)| (pid, class))
+    }
+
     /// Number of tracked processes.
     pub fn len(&self) -> usize {
         self.classes.len()

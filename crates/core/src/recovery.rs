@@ -157,6 +157,30 @@ impl Recovery {
         self.state != RecoveryState::Optimized
     }
 
+    /// Consecutive faults recorded since the last healthy event.
+    pub fn consecutive_faults(&self) -> u32 {
+        self.consecutive_faults
+    }
+
+    /// Healthy events accumulated toward the next state transition.
+    pub fn clean_events(&self) -> u32 {
+        self.clean_events
+    }
+
+    /// Deterministic fingerprint of the machine's control-relevant state:
+    /// the state itself plus both progress counters. The backoff-jitter
+    /// stream is excluded on purpose — it only flavors the *accounted*
+    /// backoff duration reported to telemetry, never a control decision,
+    /// so two machines with equal fingerprints behave identically.
+    pub fn fingerprint(&self) -> u64 {
+        let tag: u64 = match self.state {
+            RecoveryState::Optimized => 0,
+            RecoveryState::SafeMode => 1,
+            RecoveryState::Probation => 2,
+        };
+        tag | (u64::from(self.consecutive_faults) << 2) | (u64::from(self.clean_events) << 33)
+    }
+
     /// Exponential backoff with ±25% jitter for the `n`-th consecutive
     /// fault (1-based).
     fn backoff_us(&mut self, nth: u32) -> u64 {

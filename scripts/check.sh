@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Full local gate: formatting, clippy, the avfs-analyze checks (domain
-# invariants, source lints, race exploration), and the test suite.
+# invariants, source lints, bounded model checking, the policy-domain
+# proof, race exploration), and the test suite.
 # Mirrors what CI would run; exits nonzero on the first failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -26,6 +27,12 @@ cargo run -q -p avfs-analyze -- invariants
 
 echo "==> avfs-analyze lint"
 cargo run -q -p avfs-analyze -- lint
+
+echo "==> avfs-analyze model (exhaustive bounded check, depth 6)"
+cargo run -q --release -p avfs-analyze -- model --depth 6
+
+echo "==> avfs-analyze prove-policy (exhaustive policy-domain proof)"
+cargo run -q --release -p avfs-analyze -- prove-policy
 
 echo "==> avfs-analyze race (160 schedules, fault-free)"
 cargo run -q -p avfs-analyze -- race --schedules 160
