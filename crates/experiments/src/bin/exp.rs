@@ -10,12 +10,14 @@
 //! ```
 //!
 //! Artifact ids: `table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
-//! fig11 fig12 fig14 fig15 table3 table4 ablations resilience fleet`.
+//! fig11 fig12 fig14 fig15 table3 table4 ablations resilience fleet
+//! fleet-resilience`.
 //!
 //! `all` intentionally excludes the slow ids — `ablations`,
-//! `resilience`, and `fleet` — which run long sweeps or whole-cluster
-//! simulations; request those explicitly. Unknown ids are rejected
-//! before anything runs, with a nonzero exit and the closest matches.
+//! `resilience`, `fleet`, and `fleet-resilience` — which run long sweeps
+//! or whole-cluster simulations; request those explicitly. Unknown ids
+//! are rejected before anything runs, with a nonzero exit and the
+//! closest matches.
 //!
 //! `--smoke` implies `--quick` and trims the resilience sweep to its
 //! rate-0 anchor plus the 5% acceptance point on one machine; the
@@ -31,15 +33,15 @@
 //! across identical seeded invocations — and appends the `telemetry
 //! summary` tables (action mix, per-interval monitor summary,
 //! fault/recovery timeline) to the output. For `fleet` the journal is
-//! the energy-aware run's merged, node-tagged cluster journal. With
-//! several traced ids, the last one's journal wins the file; trace one
-//! id per invocation.
+//! the energy-aware run's merged, node-tagged cluster journal; for
+//! `fleet-resilience` it is the crash drill's. With several traced ids,
+//! the last one's journal wins the file; trace one id per invocation.
 
 use avfs_chip::vmin::DroopClass;
 use avfs_experiments::report::Table;
 use avfs_experiments::{
-    ablations, characterization, droops, energy, factors, fleet, perfchar, resilience, server_eval,
-    tables, telemetry_report, Machine, Scale,
+    ablations, characterization, droops, energy, factors, fleet, fleet_resilience, perfchar,
+    resilience, server_eval, tables, telemetry_report, Machine, Scale,
 };
 use avfs_telemetry::Telemetry;
 use std::path::PathBuf;
@@ -61,7 +63,7 @@ const ALL_IDS: [&str; 16] = [
 
 /// Ids `all` deliberately leaves out: long sweeps and whole-cluster
 /// simulations that would dominate an `exp all` run.
-const SLOW_IDS: [&str; 3] = ["ablations", "resilience", "fleet"];
+const SLOW_IDS: [&str; 4] = ["ablations", "resilience", "fleet", "fleet-resilience"];
 
 /// Levenshtein distance, for `did you mean` suggestions on unknown ids.
 fn edit_distance(a: &str, b: &str) -> usize {
@@ -174,7 +176,15 @@ fn emit(tables: Vec<Table>, csv_dir: &Option<PathBuf>) {
 }
 
 /// Ids that accept a telemetry hub when `--trace` is given.
-const TRACED_IDS: [&str; 6] = ["table3", "table4", "fig14", "fig15", "resilience", "fleet"];
+const TRACED_IDS: [&str; 7] = [
+    "table3",
+    "table4",
+    "fig14",
+    "fig15",
+    "resilience",
+    "fleet",
+    "fleet-resilience",
+];
 
 /// Runs `run` with a hub-backed telemetry handle when `--trace` is set
 /// (null otherwise); afterwards writes the JSONL journal and appends the
@@ -304,6 +314,34 @@ fn run_id(id: &str, opts: &Options) -> Result<Vec<Table>, String> {
                 fleet::policy_table(&results),
                 fleet::node_table(&results),
                 fleet::determinism_table(&results),
+            ]
+        }
+        "fleet-resilience" => {
+            let rates: &[f64] = if opts.smoke {
+                &fleet_resilience::SMOKE_RATES
+            } else {
+                &fleet_resilience::FULL_RATES
+            };
+            let results = fleet_resilience::evaluate(scale, seed, rates);
+            results
+                .validate()
+                .map_err(|e| format!("fleet-resilience acceptance failed: {e}"))?;
+            if let Some(path) = &opts.trace {
+                // The crash drill's merged, node-tagged journal
+                // (byte-identical across worker counts).
+                let journal = results.drill.journal.clone().unwrap_or_default();
+                std::fs::write(path, &journal)
+                    .map_err(|e| format!("cannot write trace to {}: {e}", path.display()))?;
+                eprintln!(
+                    "fleet-resilience journal: {} events -> {}",
+                    journal.lines().count(),
+                    path.display()
+                );
+            }
+            vec![
+                fleet_resilience::degradation_curve(&results),
+                fleet_resilience::drill_table(&results),
+                fleet_resilience::identity_table(&results),
             ]
         }
         "ablations" => {

@@ -14,6 +14,7 @@
 //! | [`server_eval`] | Fig. 14 (power trace), Fig. 15 (load trace), Tables III/IV (four configurations) |
 //! | [`ablations`] | beyond-paper sweeps: fail-safe off, classification threshold, guardband width, migration cost |
 //! | [`resilience`] | beyond-paper fault-injection sweep: savings-vs-fault-rate degradation curve and recovery counters |
+//! | [`fleet_resilience`] | beyond-paper cluster fault tolerance: node-failure degradation curve, crash drill, bit-identity gates |
 //! | [`telemetry_report`] | beyond-paper: `--trace` journal and metrics rendered as summary tables |
 //!
 //! Every harness takes a [`Scale`] so integration tests can run the same
@@ -26,6 +27,7 @@ pub mod droops;
 pub mod energy;
 pub mod factors;
 pub mod fleet;
+pub mod fleet_resilience;
 mod json;
 pub mod perfchar;
 pub mod report;

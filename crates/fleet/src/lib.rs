@@ -23,11 +23,39 @@
 //! (energy, makespan, admission/shedding counters, daemon recovery
 //! stats, per-node metrics) with a [`FleetSummary::fingerprint`] digest
 //! and an optional merged telemetry journal.
+//!
+//! # Fleet resilience
+//!
+//! Nodes are mortal. A seeded [`NodeFaultPlan`] injects node-scoped
+//! failures at epoch boundaries — crash, stall, degrade — and the
+//! engine degrades gracefully instead of stranding work:
+//!
+//! * **Health-gated routing** ([`health`]): a per-node heartbeat-driven
+//!   state machine (Healthy → Suspect → Fenced, Probation on return)
+//!   mirrors avfs-core's recovery machine at cluster scope; fenced
+//!   nodes receive zero new work, enforced for *every* policy by the
+//!   [`HealthGated`] circuit breaker (typed
+//!   [`FleetError::RoutedToFencedNode`] rejections, counted and
+//!   re-picked).
+//! * **Exactly-once re-dispatch** ([`redispatch`]): when a crashed node
+//!   is fenced, its queued and stranded-running jobs drain into a
+//!   re-dispatch queue with bounded retry budgets and generation tags —
+//!   never lost, never double-completed, never re-routed to the failed
+//!   origin. [`FleetSummary::conserves_jobs`] proves the accounting.
 
 pub mod engine;
+pub mod health;
 pub mod node;
+pub mod redispatch;
 pub mod routing;
 
-pub use engine::{AdmissionStats, Fleet, FleetConfig, FleetSummary};
+pub use engine::{AdmissionStats, AppliedFaults, EpochAudit, Fleet, FleetConfig, FleetSummary};
+pub use health::{
+    HealthConfig, HealthState, HealthTracker, HealthTransition, NodeFaultKind, NodeFaultPlan,
+    NodeFaultRates, NodeFaultStats, ScriptedFault,
+};
 pub use node::{EnergyDescriptor, NodeConfig, NodeId, NodeKind, NodeSummary, NodeView};
-pub use routing::{EnergyAware, JobView, LeastQueued, RoundRobin, RoutingPolicy};
+pub use redispatch::{CompletionLedger, JobId, RedispatchQueue, RedispatchStats, TrackedJob};
+pub use routing::{
+    EnergyAware, FleetError, HealthGated, JobView, LeastQueued, RoundRobin, RoutingPolicy,
+};

@@ -1,0 +1,212 @@
+//! Exactly-once job re-dispatch bookkeeping.
+//!
+//! Every job that reaches the front door gets a fleet-level [`JobId`]
+//! (pids are per-node and restart from zero on every node, so they
+//! cannot identify a job across a re-dispatch). When a crashed node is
+//! fenced, its stranded jobs — queued *and* running, neither of which
+//! will ever complete on a dead simulator — are drained into the
+//! [`RedispatchQueue`] as [`TrackedJob`]s carrying:
+//!
+//! * a **generation tag**, bumped on every re-admission, so any
+//!   double-completion is attributable to the exact re-dispatch hop;
+//! * a **retry budget**, decremented on every boundary where no node
+//!   could take the job; when it hits zero the job is shed as
+//!   *exhausted* (counted, never silently lost);
+//! * its **failed origin**, which the router excludes from the
+//!   candidate set so a job is never re-dispatched onto the node that
+//!   just lost it.
+//!
+//! The [`CompletionLedger`] closes the loop at finish time: every
+//! completion on every node is mapped back (pid → `JobId`) and counted.
+//! `admitted == completed + exhausted`, zero lost, zero duplicates — the
+//! conservation invariants avfs-analyze's `fleet` subcommand and the
+//! resilience proptests assert.
+
+use crate::node::NodeId;
+use avfs_workloads::Benchmark;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// Fleet-wide identity of one submitted job, assigned densely from zero
+/// in submission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// One admitted job's re-dispatch bookkeeping, kept per node (keyed by
+/// the node-local pid) and carried through the re-dispatch queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackedJob {
+    /// Fleet-wide identity.
+    pub id: JobId,
+    /// The benchmark the job runs.
+    pub bench: Benchmark,
+    /// Thread count requested.
+    pub threads: usize,
+    /// Work scale factor from the trace.
+    pub scale: f64,
+    /// How many times the job has been re-admitted (0 = first
+    /// placement); bumped on every re-dispatch admission.
+    pub generation: u32,
+    /// Boundaries left to find a node before the job is shed as
+    /// exhausted.
+    pub retries_left: u32,
+    /// The failed node this job was drained from (`None` until its
+    /// first drain); routing must never send it back there.
+    pub origin: Option<NodeId>,
+}
+
+/// FIFO of drained jobs awaiting re-dispatch; attempted once per epoch
+/// boundary, before new arrivals are routed.
+#[derive(Debug, Default)]
+pub struct RedispatchQueue {
+    queue: VecDeque<TrackedJob>,
+}
+
+impl RedispatchQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        RedispatchQueue::default()
+    }
+
+    /// Enqueues a drained job.
+    pub fn push(&mut self, job: TrackedJob) {
+        self.queue.push_back(job);
+    }
+
+    /// Takes every queued job (this boundary's re-dispatch attempts).
+    pub fn take_all(&mut self) -> Vec<TrackedJob> {
+        self.queue.drain(..).collect()
+    }
+
+    /// Queued jobs.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether nothing is awaiting re-dispatch.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+/// Counters of everything the re-dispatch path did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RedispatchStats {
+    /// Stranded jobs drained off fenced dead nodes.
+    pub drained: u64,
+    /// Drained jobs successfully re-admitted somewhere else.
+    pub reassigned: u64,
+    /// Drained jobs that ran out of retry budget and were shed.
+    pub exhausted: u64,
+    /// Highest generation tag any job reached (0 = nothing was ever
+    /// re-dispatched).
+    pub max_generation: u32,
+}
+
+/// Maps every per-node completion back to its fleet [`JobId`] and counts
+/// them, proving exactly-once delivery at finish time.
+#[derive(Debug, Default)]
+pub struct CompletionLedger {
+    counts: BTreeMap<u64, u32>,
+}
+
+impl CompletionLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        CompletionLedger::default()
+    }
+
+    /// Records one completion of `id`.
+    pub fn record(&mut self, id: JobId) {
+        *self.counts.entry(id.0).or_insert(0) += 1;
+    }
+
+    /// Distinct jobs that completed at least once.
+    pub fn completed_unique(&self) -> u64 {
+        self.counts.len() as u64
+    }
+
+    /// Completions beyond the first, across all jobs (0 = exactly-once
+    /// held everywhere).
+    pub fn duplicates(&self) -> u64 {
+        self.counts
+            .values()
+            .map(|&c| u64::from(c.saturating_sub(1)))
+            .sum()
+    }
+
+    /// Jobs in `admitted` that neither completed nor were shed as
+    /// exhausted — lost jobs (must be zero).
+    pub fn lost(&self, admitted: &BTreeSet<u64>, exhausted: &BTreeSet<u64>) -> u64 {
+        admitted
+            .iter()
+            .filter(|id| !self.counts.contains_key(id) && !exhausted.contains(id))
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64) -> TrackedJob {
+        TrackedJob {
+            id: JobId(id),
+            bench: Benchmark::SpecNamd,
+            threads: 1,
+            scale: 1.0,
+            generation: 0,
+            retries_left: 3,
+            origin: None,
+        }
+    }
+
+    #[test]
+    fn queue_is_fifo_and_take_all_empties() {
+        let mut q = RedispatchQueue::new();
+        q.push(job(2));
+        q.push(job(0));
+        q.push(job(1));
+        assert_eq!(q.len(), 3);
+        let order: Vec<u64> = q.take_all().into_iter().map(|j| j.id.0).collect();
+        assert_eq!(order, vec![2, 0, 1]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ledger_counts_duplicates_and_lost() {
+        let mut ledger = CompletionLedger::new();
+        ledger.record(JobId(0));
+        ledger.record(JobId(1));
+        ledger.record(JobId(1));
+        let admitted: BTreeSet<u64> = [0, 1, 2, 3].into_iter().collect();
+        let exhausted: BTreeSet<u64> = [3].into_iter().collect();
+        assert_eq!(ledger.completed_unique(), 2);
+        assert_eq!(ledger.duplicates(), 1);
+        // Job 2 completed nowhere and was never shed: lost.
+        assert_eq!(ledger.lost(&admitted, &exhausted), 1);
+    }
+
+    #[test]
+    fn clean_ledger_is_exactly_once() {
+        let mut ledger = CompletionLedger::new();
+        let admitted: BTreeSet<u64> = (0..10).collect();
+        for id in 0..10 {
+            ledger.record(JobId(id));
+        }
+        assert_eq!(ledger.completed_unique(), 10);
+        assert_eq!(ledger.duplicates(), 0);
+        assert_eq!(ledger.lost(&admitted, &BTreeSet::new()), 0);
+    }
+
+    #[test]
+    fn job_id_displays_stably() {
+        assert_eq!(JobId(17).to_string(), "job17");
+    }
+}

@@ -178,6 +178,15 @@ pub enum TraceKind {
     FleetRoute,
     /// The fleet front door shed a job (no node could admit it).
     FleetShed,
+    /// A fleet node's health machine fenced it (no new work routed).
+    NodeFenced,
+    /// A fenced fleet node passed probation and rejoined the routable set.
+    NodeRecovered,
+    /// A fleet node's chip was pessimized by an injected degrade fault.
+    NodeDegraded,
+    /// A job drained from a failed node was re-dispatched (or exhausted
+    /// its retry budget).
+    JobRedispatch,
 }
 
 impl TraceKind {
@@ -196,6 +205,10 @@ impl TraceKind {
             TraceKind::Watchdog => "watchdog",
             TraceKind::FleetRoute => "fleet_route",
             TraceKind::FleetShed => "fleet_shed",
+            TraceKind::NodeFenced => "node_fenced",
+            TraceKind::NodeRecovered => "node_recovered",
+            TraceKind::NodeDegraded => "node_degraded",
+            TraceKind::JobRedispatch => "job_redispatch",
         }
     }
 }

@@ -40,7 +40,7 @@ cargo run -q -p avfs-analyze -- race --schedules 160
 echo "==> avfs-analyze race (96 schedules, 10% fault rate)"
 cargo run -q -p avfs-analyze -- race --schedules 96 --seed 4195287042 --fault-rate 0.10
 
-echo "==> avfs-analyze fleet (cluster invariants + worker determinism)"
+echo "==> avfs-analyze fleet (cluster invariants, fencing, exactly-once, worker determinism)"
 cargo run -q --release -p avfs-analyze -- fleet
 
 echo "==> cargo test"
@@ -51,6 +51,9 @@ cargo run -q --release -p avfs-experiments --bin exp -- resilience --smoke > /de
 
 echo "==> fleet smoke (cluster eval acceptance + worker-count determinism gate)"
 cargo run -q --release -p avfs-experiments --bin exp -- fleet --smoke > /dev/null
+
+echo "==> fleet-resilience smoke (node failures: rate-0 bit-identity, crash drill, exactly-once)"
+cargo run -q --release -p avfs-experiments --bin exp -- fleet-resilience --smoke > /dev/null
 
 echo "==> trace determinism (byte-identical journals across identical seeded runs)"
 trace_dir="$(mktemp -d)"
