@@ -158,10 +158,16 @@ pub fn explore(seed: u64) -> FleetReport {
     };
     let mut submitted = 0;
     for &name in &policies {
-        let one = Fleet::new(&cluster(1, seed)).run(&t, fresh(name).as_mut());
+        let one = Fleet::builder()
+            .config(cluster(1, seed))
+            .build()
+            .run(&t, fresh(name).as_mut());
         submitted = one.admission.submitted;
         check_summary(name, &one, &mut violations);
-        let four = Fleet::new(&cluster(4, seed)).run(&t, fresh(name).as_mut());
+        let four = Fleet::builder()
+            .config(cluster(4, seed))
+            .build()
+            .run(&t, fresh(name).as_mut());
         if one.fingerprint() != four.fingerprint() {
             violations.push(violation(
                 "fleet-determinism",
@@ -308,7 +314,10 @@ fn check_resilience(seed: u64, out: &mut Vec<Violation>) {
             node: NodeId(node),
             kind: NodeFaultKind::Crash,
         };
-        let s = Fleet::new(&failing_cluster(1, seed, crash)).run(&t, &mut EnergyAware::new());
+        let s = Fleet::builder()
+            .config(failing_cluster(1, seed, crash))
+            .build()
+            .run(&t, &mut EnergyAware::new());
         if s.redispatch.drained > 0 && s.redispatch.reassigned > 0 {
             chosen = Some((crash, s));
             break;
@@ -362,7 +371,10 @@ fn check_resilience(seed: u64, out: &mut Vec<Violation>) {
     }
     check_fencing_journal(one.journal.as_deref().unwrap_or(""), out);
 
-    let four = Fleet::new(&failing_cluster(4, seed, crash)).run(&t, &mut EnergyAware::new());
+    let four = Fleet::builder()
+        .config(failing_cluster(4, seed, crash))
+        .build()
+        .run(&t, &mut EnergyAware::new());
     if one.fingerprint() != four.fingerprint() || one.journal != four.journal {
         out.push(violation(
             "fleet-determinism",
@@ -383,7 +395,10 @@ fn check_shed_accounting(seed: u64, out: &mut Vec<Violation>) {
     let mut gen = GeneratorConfig::paper_default(48, seed);
     gen.duration = SimDuration::from_secs(30);
     gen.job_scale = 0.6;
-    let summary = Fleet::new(&cfg).run(&WorkloadTrace::generate(&gen), &mut RoundRobin::new());
+    let summary = Fleet::builder()
+        .config(cfg)
+        .build()
+        .run(&WorkloadTrace::generate(&gen), &mut RoundRobin::new());
     let shed = summary.admission.shed();
     if shed == 0 {
         out.push(violation(

@@ -21,7 +21,11 @@
 //! * `HashMap` / `HashSet` in journal/export/fingerprint paths —
 //!   iteration order is randomized per process, so any serialization or
 //!   hashing that walks one breaks byte-identical determinism (use the
-//!   `BTree` forms).
+//!   `BTree` forms);
+//! * `#[allow(deprecated)]` — library code must migrate to the builder
+//!   construction path, not suppress the deprecation of the legacy
+//!   constructors (the equivalence tests that *prove* the builders
+//!   match the legacy paths live under `tests/`, which is exempt).
 //!
 //! Existing occurrences are frozen in `crates/analyze/lint-allowlist.txt`
 //! (a ratchet: counts may only go down); anything above the allowlisted
@@ -247,6 +251,12 @@ pub fn rules() -> Vec<Rule> {
             rationale: "randomized iteration order in a determinism-sensitive path",
             matcher: hash_order_matcher,
             path_filter: Some(is_determinism_sensitive_path),
+        },
+        Rule {
+            name: "allow-deprecated",
+            rationale: "suppressing a deprecation instead of migrating to the builder",
+            matcher: |line| count_occurrences(line, "allow(deprecated"),
+            path_filter: None,
         },
     ]
 }

@@ -112,11 +112,9 @@ fn bench_daemon_replan(c: &mut Criterion) {
     // registries + journal); `tests/observer_guard.rs` asserts the null
     // path stays within noise of an uninstrumented-equivalent loop.
     c.bench_function("daemon/replan_32_processes_hub", |b| {
-        let mut daemon = Daemon::with_observer(
-            &chip,
-            Daemon::optimal(&chip).config().clone(),
-            avfs_telemetry::Telemetry::hub(),
-        );
+        let mut daemon = Daemon::builder(&chip)
+            .observer(avfs_telemetry::Telemetry::hub())
+            .build();
         let _ = daemon.on_event(&view, &SysEvent::MonitorTick);
         b.iter(|| black_box(daemon.on_event(&view, &SysEvent::ProcessFinished(Pid(999)))))
     });

@@ -46,7 +46,7 @@ fn bench_fleet_grid(c: &mut Criterion) {
         for workers in [1usize, 2, 8] {
             g.bench_function(format!("nodes{nodes}_workers{workers}"), |b| {
                 b.iter(|| {
-                    let fleet = Fleet::new(&cluster(nodes, workers));
+                    let fleet = Fleet::builder().config(cluster(nodes, workers)).build();
                     black_box(fleet.run(&t, &mut EnergyAware::new()))
                 })
             });

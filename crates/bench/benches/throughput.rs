@@ -1,0 +1,327 @@
+//! Event-throughput benches with a persistent baseline (`BENCH_8.json`).
+//!
+//! Custom harness (no criterion): measures end-to-end event throughput —
+//! simulator events/sec under the Optimal daemon, fleet epochs/sec at
+//! 4 nodes × 8 workers, and daemon replans/sec with the decision cache
+//! on vs off — and verifies the cache is *transparent* (telemetry JSONL
+//! digests byte-identical cache-on vs cache-off on both chip presets).
+//!
+//! Modes:
+//!
+//! * default — measure and print the JSON report to stdout;
+//! * `--write` — also persist the report to `BENCH_8.json` at the repo
+//!   root (the committed baseline the smoke gate compares against);
+//! * `--smoke` — quick re-measure, compared against the committed
+//!   `BENCH_8.json`; exits non-zero if any throughput metric regressed
+//!   by more than 20%.
+
+use avfs_chip::presets::{self};
+use avfs_chip::topology::{CoreId, CoreSet};
+use avfs_chip::{Chip, FreqStep};
+use avfs_core::daemon::Daemon;
+use avfs_fleet::{EnergyAware, Fleet, NodeConfig, NodeKind};
+use avfs_sched::driver::{Driver, ProcessView, SysEvent, SystemView};
+use avfs_sched::governor::GovernorMode;
+use avfs_sched::process::{Pid, ProcessState};
+use avfs_sched::system::System;
+use avfs_sim::time::{SimDuration, SimTime};
+use avfs_telemetry::Telemetry;
+use avfs_workloads::classify::IntensityClass;
+use avfs_workloads::generator::{GeneratorConfig, WorkloadTrace};
+use avfs_workloads::PerfModel;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Smoke gate: fail when a throughput metric drops below this fraction
+/// of the committed baseline.
+const SMOKE_FLOOR: f64 = 0.80;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn trace(cores: usize, seed: u64, secs: u64) -> WorkloadTrace {
+    let mut cfg = GeneratorConfig::paper_default(cores, seed);
+    cfg.duration = SimDuration::from_secs(secs);
+    cfg.job_scale = if cores >= 32 { 0.15 } else { 0.2 };
+    WorkloadTrace::generate(&cfg)
+}
+
+fn preset_chip(name: &str) -> (Chip, PerfModel) {
+    match name {
+        "xgene2" => (presets::xgene2().build(), PerfModel::xgene2()),
+        _ => (presets::xgene3().build(), PerfModel::xgene3()),
+    }
+}
+
+/// Simulator events/sec: one full Optimal run driven through the
+/// incremental stepping API so [`avfs_sched::RunState::iterations`]
+/// counts every event-loop iteration. Best wall time of `reps`.
+fn sim_events_per_sec(preset: &str, reps: usize) -> (f64, u64) {
+    let t = trace(8, 5, 300);
+    let mut best = f64::MAX;
+    let mut events = 0u64;
+    for _ in 0..reps {
+        let (chip, perf) = preset_chip(preset);
+        let mut daemon = Daemon::optimal(&chip);
+        let mut system = System::builder(chip, perf).build();
+        let t0 = Instant::now();
+        let mut st = system.begin_run(&mut daemon);
+        for a in &t.arrivals {
+            system.step_until(&mut st, &mut daemon, a.at);
+            system.inject_arrival(&mut st, &mut daemon, a.bench, a.threads, a.scale);
+        }
+        system.run_to_completion(&mut st, &mut daemon);
+        events = st.iterations();
+        let _ = system.finish_run(st);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (events as f64 / best, events)
+}
+
+/// Fleet epochs/sec on the issue's reference shape: 4 heterogeneous
+/// nodes, 8 workers, 1 s epochs, energy-aware routing.
+fn fleet_epochs_per_sec(reps: usize) -> (f64, u64) {
+    let t = trace(32, 7, 120);
+    let mut best = f64::MAX;
+    let mut epochs = 0u64;
+    for _ in 0..reps {
+        let fleet = Fleet::builder()
+            .node(NodeConfig::new(NodeKind::XGene2, 101))
+            .node(NodeConfig::new(NodeKind::XGene2, 102))
+            .node(NodeConfig::new(NodeKind::XGene3, 103))
+            .node(NodeConfig::new(NodeKind::XGene3, 104))
+            .workers(8)
+            .build();
+        let t0 = Instant::now();
+        let summary = fleet.run(&t, &mut EnergyAware::new());
+        let wall = t0.elapsed().as_secs_f64();
+        // 1 s epochs: the epoch count is the drain time in whole seconds.
+        epochs = summary.cluster_makespan.as_secs_f64().ceil() as u64;
+        best = best.min(wall);
+    }
+    (epochs as f64 / best, epochs)
+}
+
+/// A realistic 32-process view for the replan-rate measurement (the
+/// same shape as the criterion `daemon/replan_32_processes` bench).
+fn full_view(chip: &Chip) -> SystemView {
+    let processes = (0..32u64)
+        .map(|i| ProcessView {
+            pid: Pid(i),
+            threads: 1,
+            state: ProcessState::Running,
+            assigned: {
+                let mut cs = CoreSet::EMPTY;
+                cs.insert(CoreId::new(i as u16));
+                cs
+            },
+            l3c_per_mcycle: Some(if i % 2 == 0 { 200.0 } else { 15_000.0 }),
+            class: Some(if i % 2 == 0 {
+                IntensityClass::CpuIntensive
+            } else {
+                IntensityClass::MemoryIntensive
+            }),
+            arrived_at: SimTime::ZERO,
+            stalled_until: None,
+        })
+        .collect();
+    SystemView {
+        now: SimTime::from_secs(10),
+        spec: chip.spec().clone(),
+        voltage: chip.voltage(),
+        pmd_steps: vec![FreqStep::MAX; 16],
+        governor: GovernorMode::Userspace,
+        droop_alert: false,
+        processes,
+    }
+}
+
+/// Replans/sec on a recurring 32-process view, with the decision cache
+/// on or off. Returns the rate and the cache's `(hits, misses)`.
+fn replans_per_sec(cache: bool, iters: u32) -> (f64, (u64, u64)) {
+    let chip = presets::xgene3().build();
+    let view = full_view(&chip);
+    let mut daemon = Daemon::optimal(&chip);
+    daemon.set_decision_cache(cache);
+    let _ = daemon.on_event(&view, &SysEvent::MonitorTick);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(daemon.on_event(&view, &SysEvent::ProcessFinished(Pid(999))));
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    (f64::from(iters) / wall, daemon.decision_cache_stats())
+}
+
+/// Byte-identity: the telemetry journal of a cached Optimal run equals
+/// the forced-miss journal on `preset`. Returns the cache's hit count.
+fn cache_transparent(preset: &str) -> (bool, u64, u64) {
+    let run = |cache: bool| {
+        let telemetry = Telemetry::hub();
+        let (chip, perf) = preset_chip(preset);
+        let mut daemon = Daemon::optimal(&chip);
+        daemon.set_decision_cache(cache);
+        daemon.set_telemetry(telemetry.clone());
+        let mut system = System::builder(chip, perf)
+            .observer(telemetry.clone())
+            .build();
+        let metrics = system.run(&trace(8, 42, 120), &mut daemon);
+        let jsonl = telemetry.export_jsonl().unwrap_or_default();
+        (jsonl, metrics, daemon.decision_cache_stats())
+    };
+    let (j_on, m_on, (hits, misses)) = run(true);
+    let (j_off, m_off, _) = run(false);
+    let equal = j_on == j_off && m_on.energy_j.to_bits() == m_off.energy_j.to_bits();
+    (equal, hits, misses)
+}
+
+struct Measured {
+    sim_eps_xgene2: f64,
+    sim_events_xgene2: u64,
+    sim_eps_xgene3: f64,
+    sim_events_xgene3: u64,
+    fleet_eps: f64,
+    fleet_epochs: u64,
+    replans_cache_on: f64,
+    replans_cache_off: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    digest_equal_xgene2: bool,
+    digest_equal_xgene3: bool,
+}
+
+fn measure(reps: usize) -> Measured {
+    let (sim_eps_xgene2, sim_events_xgene2) = sim_events_per_sec("xgene2", reps);
+    let (sim_eps_xgene3, sim_events_xgene3) = sim_events_per_sec("xgene3", reps);
+    let (fleet_eps, fleet_epochs) = fleet_epochs_per_sec(reps);
+    let (replans_cache_on, _) = replans_per_sec(true, 20_000);
+    let (replans_cache_off, _) = replans_per_sec(false, 20_000);
+    let (digest_equal_xgene2, hits2, misses2) = cache_transparent("xgene2");
+    let (digest_equal_xgene3, hits3, misses3) = cache_transparent("xgene3");
+    Measured {
+        sim_eps_xgene2,
+        sim_events_xgene2,
+        sim_eps_xgene3,
+        sim_events_xgene3,
+        fleet_eps,
+        fleet_epochs,
+        replans_cache_on,
+        replans_cache_off,
+        cache_hits: hits2 + hits3,
+        cache_misses: misses2 + misses3,
+        digest_equal_xgene2,
+        digest_equal_xgene3,
+    }
+}
+
+fn render_json(m: &Measured) -> String {
+    let hit_rate = m.cache_hits as f64 / (m.cache_hits + m.cache_misses).max(1) as f64;
+    format!(
+        "{{\n  \"schema\": \"avfs-bench-8/v1\",\n  \"metrics\": {{\n    \
+         \"sim_events_per_sec_xgene2\": {:.0},\n    \
+         \"sim_events_per_sec_xgene3\": {:.0},\n    \
+         \"fleet_epochs_per_sec_4n8w\": {:.0},\n    \
+         \"daemon_replans_per_sec_cache_on\": {:.0},\n    \
+         \"daemon_replans_per_sec_cache_off\": {:.0}\n  }},\n  \
+         \"events\": {{\"sim_xgene2\": {}, \"sim_xgene3\": {}, \"fleet_epochs\": {}}},\n  \
+         \"speedup\": {{\"daemon_replan_cache\": {:.2}}},\n  \
+         \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.3}}},\n  \
+         \"identity\": {{\"telemetry_digest_equal_xgene2\": {}, \
+         \"telemetry_digest_equal_xgene3\": {}}}\n}}\n",
+        m.sim_eps_xgene2,
+        m.sim_eps_xgene3,
+        m.fleet_eps,
+        m.replans_cache_on,
+        m.replans_cache_off,
+        m.sim_events_xgene2,
+        m.sim_events_xgene3,
+        m.fleet_epochs,
+        m.replans_cache_on / m.replans_cache_off,
+        m.cache_hits,
+        m.cache_misses,
+        hit_rate,
+        m.digest_equal_xgene2,
+        m.digest_equal_xgene3,
+    )
+}
+
+/// Pulls `"key": <number>` out of the committed baseline (the report's
+/// key set is static and flat, so a scan beats a JSON parser here).
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn smoke(m: &Measured, baseline: &str) -> Result<(), String> {
+    let gates = [
+        ("sim_events_per_sec_xgene2", m.sim_eps_xgene2),
+        ("sim_events_per_sec_xgene3", m.sim_eps_xgene3),
+        ("fleet_epochs_per_sec_4n8w", m.fleet_eps),
+        ("daemon_replans_per_sec_cache_on", m.replans_cache_on),
+    ];
+    let mut failures = Vec::new();
+    for (key, now) in gates {
+        let Some(was) = extract_number(baseline, key) else {
+            failures.push(format!("{key}: missing from baseline"));
+            continue;
+        };
+        let floor = was * SMOKE_FLOOR;
+        if now < floor {
+            failures.push(format!(
+                "{key}: {now:.0}/s is below {:.0}% of the baseline {was:.0}/s",
+                SMOKE_FLOOR * 100.0
+            ));
+        } else {
+            println!("smoke ok: {key} {now:.0}/s (baseline {was:.0}/s)");
+        }
+    }
+    if !m.digest_equal_xgene2 || !m.digest_equal_xgene3 {
+        failures.push("telemetry digest diverged under caching".to_string());
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    // `cargo bench` passes `--bench`; ignore everything we don't know.
+    let write = args.iter().any(|a| a == "--write");
+    let smoke_mode = args.iter().any(|a| a == "--smoke");
+    let baseline_path = repo_root().join("BENCH_8.json");
+
+    let m = measure(if smoke_mode { 2 } else { 3 });
+    assert!(
+        m.digest_equal_xgene2 && m.digest_equal_xgene3,
+        "decision cache changed the telemetry journal"
+    );
+    assert!(m.cache_hits > 0, "decision cache never hit");
+
+    let report = render_json(&m);
+    print!("{report}");
+
+    if smoke_mode {
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("no committed {}: {e}", baseline_path.display()));
+        if let Err(failures) = smoke(&m, &baseline) {
+            eprintln!("bench smoke gate FAILED:\n{failures}");
+            std::process::exit(1);
+        }
+        println!("bench smoke gate passed");
+    } else if write {
+        std::fs::write(&baseline_path, &report)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", baseline_path.display()));
+        println!("wrote {}", baseline_path.display());
+    }
+}

@@ -150,13 +150,19 @@ impl ChipSpec {
     ///
     /// Panics if `pmd` is out of range.
     pub fn cores_of(&self, pmd: PmdId) -> Vec<CoreId> {
+        self.cores_of_iter(pmd).collect()
+    }
+
+    /// Iterates the cores of `pmd` without allocating — the hot-path
+    /// twin of [`Self::cores_of`].
+    pub fn cores_of_iter(&self, pmd: PmdId) -> impl Iterator<Item = CoreId> {
         assert!(
             (pmd.index() as u16) < self.pmds(),
             "{pmd} out of range for {} PMDs",
             self.pmds()
         );
         let base = pmd.index() as u16 * self.cores_per_pmd;
-        (base..base + self.cores_per_pmd).map(CoreId).collect()
+        (base..base + self.cores_per_pmd).map(CoreId)
     }
 
     /// Iterates over all core ids.

@@ -80,6 +80,69 @@ impl Layout {
     }
 }
 
+/// Reusable planner state for [`plan_layout_into`].
+///
+/// Holding one of these across replans turns the planner allocation-free
+/// on the steady state: the assignment/roles/unplaced buffers are cleared
+/// and refilled in place instead of re-allocated per call. The filled
+/// scratch exposes the same queries as [`Layout`] (borrowed, not owned);
+/// callers that need an owned snapshot call [`LayoutScratch::to_layout`].
+#[derive(Debug, Default, Clone)]
+pub struct LayoutScratch {
+    assignment: Vec<(Pid, CoreSet)>,
+    pmd_roles: Vec<PmdRole>,
+    unplaced: Vec<Pid>,
+}
+
+impl LayoutScratch {
+    /// Core assignment per placed process, sorted by pid.
+    pub fn assignment(&self) -> &[(Pid, CoreSet)] {
+        &self.assignment
+    }
+
+    /// Assigned cores for `pid`, if it was placed.
+    pub fn assignment_of(&self, pid: Pid) -> Option<CoreSet> {
+        self.assignment
+            .binary_search_by_key(&pid, |(p, _)| *p)
+            .ok()
+            .map(|i| self.assignment[i].1)
+    }
+
+    /// Role of each PMD.
+    pub fn pmd_roles(&self) -> &[PmdRole] {
+        &self.pmd_roles
+    }
+
+    /// Processes that could not be placed (insufficient cores).
+    pub fn unplaced(&self) -> &[Pid] {
+        &self.unplaced
+    }
+
+    /// Number of PMDs with at least one assigned thread.
+    pub fn utilized_pmds(&self) -> usize {
+        self.pmd_roles
+            .iter()
+            .filter(|r| **r != PmdRole::Idle)
+            .count()
+    }
+
+    /// The union of all assigned cores.
+    pub fn busy_cores(&self) -> CoreSet {
+        self.assignment
+            .iter()
+            .fold(CoreSet::EMPTY, |acc, (_, cs)| acc.union(*cs))
+    }
+
+    /// Owned [`Layout`] snapshot of the current plan.
+    pub fn to_layout(&self) -> Layout {
+        Layout {
+            assignment: self.assignment.iter().copied().collect(),
+            pmd_roles: self.pmd_roles.clone(),
+            unplaced: self.unplaced.clone(),
+        }
+    }
+}
+
 /// Plans a full layout for `procs` on `spec`.
 ///
 /// Processes are placed in the given order (callers should pass a stable
@@ -87,12 +150,32 @@ impl Layout {
 /// memory-intensive then taking one core per free PMD from the top,
 /// doubling up only when unavoidable. A process whose threads do not fit
 /// in the remaining cores is reported in [`Layout::unplaced`].
+///
+/// Convenience wrapper over [`plan_layout_into`] that allocates a fresh
+/// scratch per call; hot paths (the daemon's replan loop) should hold a
+/// [`LayoutScratch`] and call [`plan_layout_into`] directly.
 pub fn plan_layout(spec: &ChipSpec, procs: &[PlanProc]) -> Layout {
+    let mut scratch = LayoutScratch::default();
+    plan_layout_into(spec, procs, &mut scratch);
+    scratch.to_layout()
+}
+
+/// Plans a full layout for `procs` on `spec` into caller-provided scratch
+/// buffers, allocating nothing once the scratch has warmed up.
+///
+/// Semantics are identical to [`plan_layout`] (it is implemented on top
+/// of this); the scratch is fully overwritten, so stale contents never
+/// leak into the new plan.
+pub fn plan_layout_into(spec: &ChipSpec, procs: &[PlanProc], scratch: &mut LayoutScratch) {
     let pmds = spec.pmds() as usize;
     let mut taken = CoreSet::EMPTY;
-    let mut roles = vec![PmdRole::Idle; pmds];
-    let mut assignment = BTreeMap::new();
-    let mut unplaced = Vec::new();
+    scratch.pmd_roles.clear();
+    scratch.pmd_roles.resize(pmds, PmdRole::Idle);
+    scratch.assignment.clear();
+    scratch.unplaced.clear();
+    let roles = &mut scratch.pmd_roles;
+    let assignment = &mut scratch.assignment;
+    let unplaced = &mut scratch.unplaced;
 
     // --- Pass 1: CPU-intensive, clustered bottom-up. ---
     for p in procs
@@ -131,7 +214,7 @@ pub fn plan_layout(spec: &ChipSpec, procs: &[PlanProc]) -> Layout {
                 taken.insert(c);
                 roles[spec.pmd_of(c).index()] = PmdRole::Cpu;
             }
-            assignment.insert(p.pid, chosen);
+            assignment.push((p.pid, chosen));
         } else {
             unplaced.push(p.pid);
         }
@@ -186,25 +269,22 @@ pub fn plan_layout(spec: &ChipSpec, procs: &[PlanProc]) -> Layout {
                     roles[idx] = PmdRole::Mem;
                 }
             }
-            assignment.insert(p.pid, chosen);
+            assignment.push((p.pid, chosen));
         } else {
             unplaced.push(p.pid);
         }
     }
 
-    let layout = Layout {
-        assignment,
-        pmd_roles: roles,
-        unplaced,
-    };
-    debug_assert_layout(spec, procs, &layout);
-    layout
+    // CPU pids and mem pids interleave across the two passes; restore the
+    // pid order the lookup API promises.
+    assignment.sort_unstable_by_key(|(pid, _)| *pid);
+    debug_assert_layout(spec, procs, scratch);
 }
 
 /// Structural invariants every layout must satisfy; checked at the end of
 /// [`plan_layout`] in debug builds and re-verified exhaustively by the
 /// `avfs-analyze` invariant registry and race harness.
-fn debug_assert_layout(spec: &ChipSpec, procs: &[PlanProc], layout: &Layout) {
+fn debug_assert_layout(spec: &ChipSpec, procs: &[PlanProc], layout: &LayoutScratch) {
     if cfg!(debug_assertions) {
         let mut seen = CoreSet::EMPTY;
         for (pid, cores) in &layout.assignment {

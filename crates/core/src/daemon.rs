@@ -18,7 +18,7 @@
 //! according to utilized PMDs" rule, and it is what keeps
 //! `unsafe_time_s == 0` in every evaluation run.
 
-use crate::allocation::{plan_layout, PlanProc, PmdRole};
+use crate::allocation::{plan_layout_into, LayoutScratch, PlanProc, PmdRole};
 use crate::monitor::ClassTracker;
 use crate::policy::PolicyTable;
 use crate::recovery::{FaultDecision, Recovery, RecoveryConfig, RecoveryState};
@@ -162,6 +162,93 @@ impl fmt::Display for DaemonStats {
     }
 }
 
+/// Reusable buffers for the replan pipeline, so steady-state control
+/// events allocate nothing for planner inputs, the layout, or the
+/// frequency program.
+#[derive(Debug, Clone, Default)]
+struct PlanScratch {
+    procs: Vec<PlanProc>,
+    layout: LayoutScratch,
+    steps: Vec<FreqStep>,
+}
+
+/// A memoized *placement* decision: the fingerprint of everything the
+/// layout/frequency planner reads, and the plan it produced. Pins are
+/// stored by the process's *position* in the view (the plan depends on
+/// processes only through their order, threads, state, placement, and
+/// class — never on raw pid values), so a cached plan replays correctly
+/// after pids churn. The voltage program is deliberately *not* cached:
+/// it depends on the entering rail voltage (which varies with the
+/// previous configuration even when the placement state recurs) and is
+/// cheap table lookups — recomputing it live keeps the key small and
+/// the hit rate high.
+#[derive(Debug, Clone)]
+struct CachedPlan {
+    key: u64,
+    /// Ordered pins, as (view index, target cores).
+    pins: Vec<(usize, CoreSet)>,
+    /// Full per-PMD frequency program.
+    steps: Vec<FreqStep>,
+    /// Cores busy under the target layout (stranded included).
+    target_busy: CoreSet,
+    /// `deferred_pins` delta the sequencing pass recorded, replayed on
+    /// hits so the counter surface stays byte-identical.
+    deferred: u64,
+}
+
+/// Entries kept in the decision cache. Control state rarely revisits
+/// more than a handful of distinct configurations between invalidations,
+/// so a small linear-scan cache wins over a map.
+const DECISION_CACHE_CAP: usize = 32;
+
+impl avfs_sched::Report for DaemonStats {
+    /// The `Display` line doubles as the fingerprint: all fields are
+    /// integers, so textual equality is bit equality.
+    fn fingerprint(&self) -> String {
+        self.to_string()
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"invocations\":{},\"plans\":{},\"pins\":{},\"voltage_raises\":{},\
+             \"voltage_lowers\":{},\"deferred_pins\":{},\"mailbox_faults\":{},\
+             \"retries\":{},\"backoff_us\":{},\"safe_mode_entries\":{},\
+             \"safe_mode_exits\":{},\"watchdog_fires\":{},\"droop_emergencies\":{}}}",
+            self.invocations,
+            self.plans,
+            self.pins,
+            self.voltage_raises,
+            self.voltage_lowers,
+            self.deferred_pins,
+            self.mailbox_faults,
+            self.retries,
+            self.backoff_us,
+            self.safe_mode_entries,
+            self.safe_mode_exits,
+            self.watchdog_fires,
+            self.droop_emergencies,
+        )
+    }
+
+    fn summary_table(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("invocations", self.invocations.to_string()),
+            ("plans", self.plans.to_string()),
+            ("pins", self.pins.to_string()),
+            ("voltage_raises", self.voltage_raises.to_string()),
+            ("voltage_lowers", self.voltage_lowers.to_string()),
+            ("deferred_pins", self.deferred_pins.to_string()),
+            ("mailbox_faults", self.mailbox_faults.to_string()),
+            ("retries", self.retries.to_string()),
+            ("backoff_us", self.backoff_us.to_string()),
+            ("safe_mode_entries", self.safe_mode_entries.to_string()),
+            ("safe_mode_exits", self.safe_mode_exits.to_string()),
+            ("watchdog_fires", self.watchdog_fires.to_string()),
+            ("droop_emergencies", self.droop_emergencies.to_string()),
+        ]
+    }
+}
+
 /// The online monitoring + placement daemon.
 #[derive(Debug, Clone)]
 pub struct Daemon {
@@ -176,6 +263,11 @@ pub struct Daemon {
     recovery: Recovery,
     droop_guard: bool,
     name: String,
+    plan_scratch: PlanScratch,
+    cache: Vec<CachedPlan>,
+    cache_enabled: bool,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 impl Daemon {
@@ -183,7 +275,35 @@ impl Daemon {
     /// attached. The policy table is produced by the characterization
     /// procedure of [`PolicyTable`].
     pub fn new(chip: &Chip, config: DaemonConfig) -> Self {
-        Daemon::with_observer(chip, config, Telemetry::null())
+        Daemon::construct(chip, config, Telemetry::null())
+    }
+
+    /// Starts a [`DaemonBuilder`] — the blessed construction path when
+    /// anything beyond the preset configurations is needed:
+    ///
+    /// ```
+    /// use avfs_chip::presets;
+    /// use avfs_core::daemon::Daemon;
+    ///
+    /// let chip = presets::xgene2().build();
+    /// let daemon = Daemon::builder(&chip).build();
+    /// assert_eq!(daemon.name_owned(), "optimal");
+    /// ```
+    pub fn builder(chip: &Chip) -> DaemonBuilder<'_> {
+        DaemonBuilder {
+            config: DaemonConfig {
+                control_placement: true,
+                control_voltage: true,
+                mem_step: Self::mem_step_for(chip),
+                idle_step: FreqStep::MIN,
+                fail_safe_ordering: true,
+                extra_margin_mv: 0,
+                lower_hysteresis_mv: 5,
+                recovery: RecoveryConfig::default(),
+            },
+            chip,
+            telemetry: Telemetry::null(),
+        }
     }
 
     /// Builds a daemon that reports its decisions through `telemetry`.
@@ -191,7 +311,15 @@ impl Daemon {
     /// additionally receives counter mirrors and span-style trace events
     /// for every decision point (replans, recovery transitions, the
     /// droop guard, the migration watchdog).
+    #[deprecated(
+        since = "0.8.0",
+        note = "use Daemon::builder(chip).config(config).observer(telemetry).build()"
+    )]
     pub fn with_observer(chip: &Chip, config: DaemonConfig, telemetry: Telemetry) -> Self {
+        Daemon::construct(chip, config, telemetry)
+    }
+
+    fn construct(chip: &Chip, config: DaemonConfig, telemetry: Telemetry) -> Self {
         let name = match (config.control_placement, config.control_voltage) {
             (true, true) => "optimal",
             (true, false) => "placement",
@@ -211,6 +339,11 @@ impl Daemon {
             recovery,
             droop_guard: false,
             name: name.to_string(),
+            plan_scratch: PlanScratch::default(),
+            cache: Vec::new(),
+            cache_enabled: true,
+            cache_hits: 0,
+            cache_misses: 0,
         }
     }
 
@@ -401,26 +534,16 @@ impl Daemon {
     /// knob; disabling it makes transitions unsafe on purpose).
     pub fn set_fail_safe_ordering(&mut self, enabled: bool) {
         self.config.fail_safe_ordering = enabled;
+        self.cache.clear();
     }
 
     /// Overrides the memory-PMD frequency step (threshold/step sweeps).
     pub fn set_mem_step(&mut self, step: FreqStep) {
         self.config.mem_step = step;
+        self.cache.clear();
     }
 
     // ------------------------------------------------------------------
-
-    /// All live processes as planner inputs, in pid order.
-    fn plan_procs(&self, view: &SystemView) -> Vec<PlanProc> {
-        view.processes
-            .iter()
-            .map(|p| PlanProc {
-                pid: p.pid,
-                threads: p.threads,
-                class: self.tracker.class_of(p.pid),
-            })
-            .collect()
-    }
 
     /// The frequency-class of a step program restricted to utilized PMDs.
     fn freq_class_of(&self, steps: &[FreqStep], utilized: &[PmdId]) -> FreqVminClass {
@@ -442,25 +565,57 @@ impl Daemon {
             return actions;
         }
 
-        // --- Target layout & frequency program. ---
-        let procs = self.plan_procs(view);
-        let layout = plan_layout(&self.spec, &procs);
-        // Running processes the layout could not re-fit (fragmentation
-        // under oversubscription: a wide process cannot be packed around
-        // a newly placed narrow one) keep executing on their current
-        // cores. The program must keep those PMDs clocked and the rail
-        // above their Vmin, or the final undervolt would dip below what
-        // the cores that never vacated require.
-        let stranded = view
-            .processes
-            .iter()
-            .filter(|p| p.state == ProcessState::Running && !layout.assignment.contains_key(&p.pid))
-            .fold(CoreSet::EMPTY, |acc, p| acc.union(p.assigned));
-        let new_steps: Vec<FreqStep> = layout
-            .pmd_roles
-            .iter()
-            .enumerate()
-            .map(|(i, role)| {
+        // --- Target layout & frequency program (memoized). ---
+        // The scratch buffers persist across replans (taken out of self
+        // so the planner can borrow them while `self` stays usable).
+        let mut scratch = std::mem::take(&mut self.plan_scratch);
+        let key = self.decision_key(view);
+        let hit = if self.cache_enabled {
+            self.cache.iter().position(|e| e.key == key)
+        } else {
+            None
+        };
+        let (pins, target_busy) = if let Some(idx) = hit {
+            self.cache_hits += 1;
+            let entry = self.cache[idx].clone();
+            scratch.steps.clear();
+            scratch.steps.extend_from_slice(&entry.steps);
+            // The sequencing pass counts deferrals unconditionally (even
+            // zero), so the replay must touch the counter at the same
+            // point for the cached journal to stay byte-identical.
+            self.count(Dc::DeferredPins, entry.deferred);
+            let pins: Vec<(Pid, CoreSet)> = entry
+                .pins
+                .iter()
+                .map(|&(i, cores)| (view.processes[i].pid, cores))
+                .collect();
+            (pins, entry.target_busy)
+        } else {
+            scratch.procs.clear();
+            scratch
+                .procs
+                .extend(view.processes.iter().map(|p| PlanProc {
+                    pid: p.pid,
+                    threads: p.threads,
+                    class: self.tracker.class_of(p.pid),
+                }));
+            plan_layout_into(&self.spec, &scratch.procs, &mut scratch.layout);
+            // Running processes the layout could not re-fit (fragmentation
+            // under oversubscription: a wide process cannot be packed around
+            // a newly placed narrow one) keep executing on their current
+            // cores. The program must keep those PMDs clocked and the rail
+            // above their Vmin, or the final undervolt would dip below what
+            // the cores that never vacated require.
+            let stranded = view
+                .processes
+                .iter()
+                .filter(|p| {
+                    p.state == ProcessState::Running
+                        && scratch.layout.assignment_of(p.pid).is_none()
+                })
+                .fold(CoreSet::EMPTY, |acc, p| acc.union(p.assigned));
+            scratch.steps.clear();
+            for (i, role) in scratch.layout.pmd_roles().iter().enumerate() {
                 let planned = match role {
                     PmdRole::Cpu => FreqStep::MAX,
                     PmdRole::Mem => self.config.mem_step,
@@ -468,21 +623,50 @@ impl Daemon {
                 };
                 let hosts_stranded = self
                     .spec
-                    .cores_of(PmdId::new(i as u16))
-                    .iter()
-                    .any(|&c| stranded.contains(c));
-                if hosts_stranded {
+                    .cores_of_iter(PmdId::new(i as u16))
+                    .any(|c| stranded.contains(c));
+                scratch.steps.push(if hosts_stranded {
                     // Never throttle a core a stranded process runs on.
                     view.pmd_steps
                         .get(i)
                         .map_or(planned, |&current| planned.max(current))
                 } else {
                     planned
+                });
+            }
+            let deferred_before = self.registry.get(Dc::DeferredPins as usize);
+            let pins = self.sequence_pins(view, scratch.layout.assignment());
+            let deferred = self.registry.get(Dc::DeferredPins as usize) - deferred_before;
+            let target_busy = scratch.layout.busy_cores().union(stranded);
+            if self.cache_enabled {
+                self.cache_misses += 1;
+                // Pins re-encoded by view position; every pinned pid comes
+                // from the view, so the lookup cannot fail.
+                let encoded: Option<Vec<(usize, CoreSet)>> = pins
+                    .iter()
+                    .map(|&(pid, cores)| {
+                        view.processes
+                            .iter()
+                            .position(|p| p.pid == pid)
+                            .map(|i| (i, cores))
+                    })
+                    .collect();
+                if let Some(encoded) = encoded {
+                    if self.cache.len() >= DECISION_CACHE_CAP {
+                        self.cache.remove(0);
+                    }
+                    self.cache.push(CachedPlan {
+                        key,
+                        pins: encoded,
+                        steps: scratch.steps.clone(),
+                        target_busy,
+                        deferred,
+                    });
                 }
-            })
-            .collect();
-        let pins = self.sequence_pins(view, &layout.assignment);
-        let target_busy = layout.busy_cores().union(stranded);
+            }
+            (pins, target_busy)
+        };
+        let new_steps = &scratch.steps;
 
         // --- Voltage program. ---
         if self.config.control_voltage && !self.config.fail_safe_ordering {
@@ -491,7 +675,7 @@ impl Daemon {
             // `lazy_voltage_action`), leaving a real unsafe window after
             // widening reconfigurations — the hazard the paper's
             // ordering rule exists to prevent.
-            self.push_reconfig(&mut actions, view, &pins, &new_steps);
+            self.push_reconfig(&mut actions, view, &pins, new_steps);
         } else if self.config.control_voltage {
             let current_busy = view.busy_cores();
             let current_util = current_busy.utilized_pmds(&self.spec);
@@ -513,7 +697,7 @@ impl Daemon {
             // Frequency class: worst of the current program on current
             // PMDs and the new program on target PMDs.
             let fc_now = self.freq_class_of(&view.pmd_steps, &current_util);
-            let fc_target = self.freq_class_of(&new_steps, &target_util);
+            let fc_target = self.freq_class_of(new_steps, &target_util);
             let fc_transition = fc_now.max(fc_target);
 
             let pessimize = self.recovery.pessimize_voltage();
@@ -537,7 +721,7 @@ impl Daemon {
                 self.bump(Dc::VoltageRaises);
             }
 
-            self.push_reconfig(&mut actions, view, &pins, &new_steps);
+            self.push_reconfig(&mut actions, view, &pins, new_steps);
 
             // Settle to the final voltage.
             let settle_from = if self.config.fail_safe_ordering {
@@ -556,7 +740,7 @@ impl Daemon {
                 }
             }
         } else {
-            self.push_reconfig(&mut actions, view, &pins, &new_steps);
+            self.push_reconfig(&mut actions, view, &pins, new_steps);
         }
 
         if !actions.is_empty() {
@@ -572,7 +756,70 @@ impl Daemon {
                 ]
             });
         }
+        self.plan_scratch = scratch;
         actions
+    }
+
+    /// Fingerprint of everything the *placement* planner reads: the
+    /// per-PMD step program (stranded cores are never throttled below
+    /// their current step) and each process's shape in view order —
+    /// threads, run state, current placement, and tracked class. Pids
+    /// are deliberately excluded: the plan depends on processes only
+    /// through their order and shape, so a cached decision stays valid
+    /// across pid churn. The rail voltage, droop guard, and recovery
+    /// posture feed only the voltage program, which is recomputed live
+    /// on every replan — hashing them would sink the hit rate (the
+    /// entering voltage varies with the *previous* configuration even
+    /// when the placement state recurs). The daemon's own config is not
+    /// hashed; its setters invalidate the cache instead.
+    fn decision_key(&self, view: &SystemView) -> u64 {
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn mix(h: u64, v: u64) -> u64 {
+            (h ^ v).wrapping_mul(FNV_PRIME)
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        h = mix(h, view.pmd_steps.len() as u64);
+        for &step in &view.pmd_steps {
+            h = mix(h, u64::from(step.numerator()));
+        }
+        h = mix(h, view.processes.len() as u64);
+        for p in &view.processes {
+            h = mix(h, p.threads as u64);
+            h = mix(
+                h,
+                match p.state {
+                    ProcessState::Waiting => 0,
+                    ProcessState::Running => 1,
+                    ProcessState::Finished => 2,
+                },
+            );
+            h = mix(h, p.assigned.bits());
+            h = mix(
+                h,
+                match self.tracker.class_of(p.pid) {
+                    IntensityClass::CpuIntensive => 0,
+                    IntensityClass::MemoryIntensive => 1,
+                },
+            );
+        }
+        h
+    }
+
+    /// Enables or disables the replan decision cache (enabled by
+    /// default). Disabling clears it, forcing every subsequent replan
+    /// down the full planning path.
+    pub fn set_decision_cache(&mut self, enabled: bool) {
+        self.cache_enabled = enabled;
+        if !enabled {
+            self.cache.clear();
+        }
+    }
+
+    /// `(hits, misses)` observed by the decision cache. Diagnostic only:
+    /// not part of [`DaemonStats`] or any telemetry surface, so cached
+    /// and uncached runs stay byte-identical everywhere else.
+    pub fn decision_cache_stats(&self) -> (u64, u64) {
+        (self.cache_hits, self.cache_misses)
     }
 
     /// Emits pins and frequency-step changes (only the deltas).
@@ -631,7 +878,7 @@ impl Daemon {
     fn sequence_pins(
         &mut self,
         view: &SystemView,
-        target: &BTreeMap<Pid, CoreSet>,
+        target: &[(Pid, CoreSet)],
     ) -> Vec<(Pid, CoreSet)> {
         // Current occupancy per process.
         let mut occupancy: BTreeMap<Pid, CoreSet> = view
@@ -642,8 +889,8 @@ impl Daemon {
             .collect();
         let mut pending: Vec<(Pid, CoreSet)> = target
             .iter()
-            .filter(|(pid, &cores)| occupancy.get(pid).copied().unwrap_or(CoreSet::EMPTY) != cores)
-            .map(|(&pid, &cores)| (pid, cores))
+            .filter(|(pid, cores)| occupancy.get(pid).copied().unwrap_or(CoreSet::EMPTY) != *cores)
+            .copied()
             .collect();
         let mut ordered = Vec::new();
         // Greedy passes: apply any pin whose target is free of *other*
@@ -696,6 +943,7 @@ impl Daemon {
             return false;
         }
         self.droop_guard = view.droop_alert;
+        self.cache.clear();
         if self.droop_guard {
             self.bump(Dc::DroopEmergencies);
         }
@@ -762,6 +1010,9 @@ impl Daemon {
         notice: avfs_sched::driver::FaultNotice,
     ) -> Vec<Action> {
         self.bump(Dc::MailboxFaults);
+        // A fault reshapes everything downstream (retry budget, safe
+        // mode, pessimized voltage) — drop all memoized decisions.
+        self.cache.clear();
         let before = self.recovery.state();
         let decision = self.recovery.on_fault();
         self.trace_recovery_transition(before, "fault");
@@ -807,6 +1058,41 @@ impl Daemon {
     }
 }
 
+/// Builder for [`Daemon`] — the single blessed construction path.
+///
+/// Starts from the paper's **Optimal** configuration for the chip
+/// (placement + frequency + voltage control, chip-appropriate memory
+/// step); override pieces with [`config`](DaemonBuilder::config) and
+/// attach an observer with [`observer`](DaemonBuilder::observer).
+#[derive(Debug)]
+pub struct DaemonBuilder<'c> {
+    chip: &'c Chip,
+    config: DaemonConfig,
+    telemetry: Telemetry,
+}
+
+impl DaemonBuilder<'_> {
+    /// Replaces the full configuration.
+    #[must_use]
+    pub fn config(mut self, config: DaemonConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attaches a telemetry observer (counter mirrors + decision
+    /// traces).
+    #[must_use]
+    pub fn observer(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Builds the daemon.
+    pub fn build(self) -> Daemon {
+        Daemon::construct(self.chip, self.config, self.telemetry)
+    }
+}
+
 impl Driver for Daemon {
     fn on_event(&mut self, view: &SystemView, event: &SysEvent) -> Vec<Action> {
         self.telemetry.advance_to(view.now);
@@ -833,6 +1119,9 @@ impl Driver for Daemon {
                 self.bump(Dc::VoltageLowers);
             }
         }
+        // Class flips reshape the layout, but need no cache invalidation:
+        // every tracked class is part of the decision key, so a flip
+        // changes the key and stale entries simply stop matching.
         self.tracker.refresh(view);
         if let SysEvent::OperationFault(notice) = event {
             actions.extend(self.on_operation_fault(view, *notice));
@@ -843,6 +1132,9 @@ impl Driver for Daemon {
         // recovery machine and pick up droop-alert changes.
         let before = self.recovery.state();
         let exited_safe_mode = self.recovery.on_clean_event();
+        if before != self.recovery.state() {
+            self.cache.clear();
+        }
         self.trace_recovery_transition(before, "clean_window");
         if exited_safe_mode {
             self.bump(Dc::SafeModeExits);

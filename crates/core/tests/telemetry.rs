@@ -29,12 +29,10 @@ fn traced_run(seed: u64, rate: f64) -> (String, DaemonStats, Telemetry) {
     chip.set_fault_plan(Some(FaultPlan::uniform(seed, rate)));
     let mut daemon = Daemon::optimal(&chip);
     daemon.set_telemetry(telemetry.clone());
-    let mut system = System::with_observer(
-        chip,
-        PerfModel::xgene2(),
-        SystemConfig::default(),
-        telemetry.clone(),
-    );
+    let mut system = System::builder(chip, PerfModel::xgene2())
+        .config(SystemConfig::default())
+        .observer(telemetry.clone())
+        .build();
     let _ = system.run(&trace, &mut daemon);
     let jsonl = telemetry.export_jsonl().expect("hub journal");
     (jsonl, daemon.stats(), telemetry)

@@ -95,7 +95,10 @@ impl FleetEvalResults {
 pub fn evaluate(scale: Scale, seed: u64) -> FleetEvalResults {
     let trace = cluster_trace(scale, seed);
     let run = |eval: EvalConfig, workers: usize, telemetry: bool, p: &mut dyn RoutingPolicy| {
-        Fleet::new(&fleet_config(seed, eval, workers, telemetry)).run(&trace, p)
+        Fleet::builder()
+            .config(fleet_config(seed, eval, workers, telemetry))
+            .build()
+            .run(&trace, p)
     };
 
     let baseline = run(EvalConfig::Baseline, 4, false, &mut RoundRobin::new());

@@ -92,11 +92,15 @@ fn drill_plan() -> NodeFaultPlan {
 pub fn evaluate(scale: Scale, seed: u64, rates: &[f64]) -> FleetResilienceResults {
     let trace = cluster_trace(scale, seed);
     let run = |eval: EvalConfig, workers: usize, telemetry: bool, plan: Option<NodeFaultPlan>| {
-        Fleet::new(&config(seed, eval, workers, telemetry, plan))
+        Fleet::builder()
+            .config(config(seed, eval, workers, telemetry, plan))
+            .build()
             .run(&trace, &mut EnergyAware::new())
     };
 
-    let governor = Fleet::new(&config(seed, EvalConfig::Baseline, 4, false, None))
+    let governor = Fleet::builder()
+        .config(config(seed, EvalConfig::Baseline, 4, false, None))
+        .build()
         .run(&trace, &mut RoundRobin::new());
     let unarmed = run(EvalConfig::Optimal, 8, true, None);
     let armed_zero = run(

@@ -161,12 +161,10 @@ pub fn sweep_with_observer(
             });
             let mut daemon = Daemon::optimal(&chip);
             daemon.set_telemetry(telemetry.clone());
-            let mut system = System::with_observer(
-                chip,
-                machine.perf_model(),
-                SystemConfig::default(),
-                telemetry.clone(),
-            );
+            let mut system = System::builder(chip, machine.perf_model())
+                .config(SystemConfig::default())
+                .observer(telemetry.clone())
+                .build();
             let metrics = system.run(&trace, &mut daemon);
             let chip = system.chip();
             let end_state_ok = chip.voltage() <= chip.nominal_voltage()

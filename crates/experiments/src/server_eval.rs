@@ -79,12 +79,10 @@ pub fn evaluate_with_observer(
                 ]
             });
             let mut driver = cfg.driver_with_observer(&chip, run_telemetry.clone());
-            let mut system = System::with_observer(
-                chip,
-                machine.perf_model(),
-                SystemConfig::default(),
-                run_telemetry,
-            );
+            let mut system = System::builder(chip, machine.perf_model())
+                .config(SystemConfig::default())
+                .observer(run_telemetry)
+                .build();
             let metrics = system.run(&trace, driver.as_mut());
             (cfg.label().to_string(), metrics)
         })

@@ -197,13 +197,43 @@ pub struct Fleet {
     exhausted_ids: BTreeSet<u64>,
     next_job: u64,
     audits: Vec<EpochAudit>,
+    /// Reused routing-view buffer: `try_place` runs once per routed job
+    /// (plus once per queued job per boundary), so the view set is
+    /// rebuilt in place instead of collected fresh each time.
+    view_scratch: Vec<NodeView>,
 }
 
 impl Fleet {
+    /// Starts a [`FleetBuilder`] — the blessed construction path:
+    ///
+    /// ```
+    /// use avfs_fleet::{Fleet, NodeConfig, NodeKind};
+    ///
+    /// let fleet = Fleet::builder()
+    ///     .node(NodeConfig::new(NodeKind::XGene2, 42))
+    ///     .node(NodeConfig::new(NodeKind::XGene3, 43))
+    ///     .workers(2)
+    ///     .build();
+    /// assert_eq!(fleet.len(), 2);
+    /// ```
+    pub fn builder() -> FleetBuilder {
+        FleetBuilder {
+            config: FleetConfig::new(Vec::new()),
+        }
+    }
+
     /// Builds the fleet: every node gets its own chip, driver, seed, and
     /// (when enabled) telemetry hub; drivers observe their first monitor
     /// tick immediately.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use Fleet::builder().nodes(..).epoch(..).workers(..).build()"
+    )]
     pub fn new(config: &FleetConfig) -> Self {
+        Fleet::from_config(config)
+    }
+
+    fn from_config(config: &FleetConfig) -> Self {
         let coordinator = if config.telemetry {
             Telemetry::hub()
         } else {
@@ -239,6 +269,7 @@ impl Fleet {
             exhausted_ids: BTreeSet::new(),
             next_job: 0,
             audits: Vec::new(),
+            view_scratch: Vec::new(),
         }
     }
 
@@ -350,15 +381,30 @@ impl Fleet {
         exclude: Option<NodeId>,
         gate: &mut HealthGated<&mut dyn RoutingPolicy>,
     ) -> Result<NodeId, ShedReason> {
-        let views: Vec<NodeView> = self
-            .nodes
-            .iter()
-            .filter(|n| Some(n.id) != exclude)
-            .map(Node::view)
-            .collect();
-        match gate.route(job, &views) {
+        let mut views = std::mem::take(&mut self.view_scratch);
+        views.clear();
+        views.extend(
+            self.nodes
+                .iter()
+                .filter(|n| Some(n.id) != exclude)
+                .map(Node::view),
+        );
+        let placed = Self::place_against(&self.nodes, job, exclude, gate, &views);
+        self.view_scratch = views;
+        placed
+    }
+
+    /// The routing decision proper, against a prepared view set.
+    fn place_against(
+        nodes: &[Node],
+        job: &JobView,
+        exclude: Option<NodeId>,
+        gate: &mut HealthGated<&mut dyn RoutingPolicy>,
+        views: &[NodeView],
+    ) -> Result<NodeId, ShedReason> {
+        match gate.route(job, views) {
             None => Err(ShedReason::Declined),
-            Some(id) if id.index() >= self.nodes.len() => Err(ShedReason::UnknownNode),
+            Some(id) if id.index() >= nodes.len() => Err(ShedReason::UnknownNode),
             Some(id) if Some(id) == exclude => Err(ShedReason::Origin),
             Some(id) => match views.iter().find(|v| v.id == id) {
                 // The gate re-picks fenced choices; this only fires for a
@@ -730,6 +776,96 @@ impl Fleet {
     }
 }
 
+/// Builder for [`Fleet`] — the single blessed construction path.
+///
+/// Starts from [`FleetConfig::new`]'s defaults (1 s epochs, one
+/// worker, telemetry off, no faults); every knob has a setter, and
+/// [`config`](FleetBuilder::config) swaps in a prepared configuration
+/// wholesale.
+#[derive(Debug, Clone)]
+pub struct FleetBuilder {
+    config: FleetConfig,
+}
+
+impl FleetBuilder {
+    /// Replaces the node list.
+    #[must_use]
+    pub fn nodes(mut self, nodes: Vec<NodeConfig>) -> Self {
+        self.config.nodes = nodes;
+        self
+    }
+
+    /// Appends one node.
+    #[must_use]
+    pub fn node(mut self, node: NodeConfig) -> Self {
+        self.config.nodes.push(node);
+        self
+    }
+
+    /// Sets the epoch length.
+    #[must_use]
+    pub fn epoch(mut self, epoch: SimDuration) -> Self {
+        self.config.epoch = epoch;
+        self
+    }
+
+    /// Sets the worker-thread count (results are identical for any
+    /// value).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Enables or disables telemetry hubs and the merged journal.
+    #[must_use]
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.config.telemetry = on;
+        self
+    }
+
+    /// Installs a node-failure schedule.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: NodeFaultPlan) -> Self {
+        self.config.fault_plan = Some(plan);
+        self
+    }
+
+    /// Sets the per-node health-machine thresholds.
+    #[must_use]
+    pub fn health(mut self, health: HealthConfig) -> Self {
+        self.config.health = health;
+        self
+    }
+
+    /// Sets the re-dispatch retry budget.
+    #[must_use]
+    pub fn retry_budget(mut self, budget: u32) -> Self {
+        self.config.retry_budget = budget;
+        self
+    }
+
+    /// Enables or disables per-epoch conservation audits.
+    #[must_use]
+    pub fn audit(mut self, on: bool) -> Self {
+        self.config.audit = on;
+        self
+    }
+
+    /// Replaces the whole configuration (setters called afterwards
+    /// still apply on top).
+    #[must_use]
+    pub fn config(mut self, config: FleetConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Builds the fleet.
+    pub fn build(self) -> Fleet {
+        Fleet::from_config(&self.config)
+    }
+}
+
 /// Stable label for a job's intensity class.
 fn class_label(class: IntensityClass) -> &'static str {
     match class {
@@ -907,5 +1043,72 @@ impl FleetSummary {
             );
         }
         out
+    }
+}
+
+impl avfs_sched::Report for FleetSummary {
+    /// Delegates to the inherent digest (kept inherent so callers
+    /// without the trait in scope keep working).
+    fn fingerprint(&self) -> String {
+        FleetSummary::fingerprint(self)
+    }
+
+    fn to_json(&self) -> String {
+        let a = &self.admission;
+        let r = &self.redispatch;
+        let f = &self.faults;
+        format!(
+            "{{\"policy\":\"{}\",\"nodes\":{},\"submitted\":{},\"admitted\":{},\
+             \"shed\":{},\"completed\":{},\"cluster_energy_j\":{},\
+             \"cluster_makespan_s\":{},\"migrations\":{},\"voltage_changes\":{},\
+             \"failures\":{},\"unsafe_time_s\":{},\"routed_to_fenced\":{},\
+             \"drained\":{},\"reassigned\":{},\"exhausted\":{},\"crashes\":{},\
+             \"stalls\":{},\"degrades\":{},\"duplicate_completions\":{},\"lost_jobs\":{}}}",
+            self.policy,
+            self.nodes.len(),
+            a.submitted,
+            a.admitted,
+            a.shed(),
+            self.completed,
+            self.cluster_energy_j,
+            self.cluster_makespan.as_secs_f64(),
+            self.migrations,
+            self.voltage_changes,
+            self.failures,
+            self.unsafe_time_s,
+            self.routed_to_fenced,
+            r.drained,
+            r.reassigned,
+            r.exhausted,
+            f.crashes,
+            f.stalls,
+            f.degrades,
+            self.duplicate_completions,
+            self.lost_jobs,
+        )
+    }
+
+    fn summary_table(&self) -> Vec<(&'static str, String)> {
+        let a = &self.admission;
+        vec![
+            ("policy", self.policy.to_string()),
+            ("nodes", self.nodes.len().to_string()),
+            ("submitted", a.submitted.to_string()),
+            ("admitted", a.admitted.to_string()),
+            ("shed", a.shed().to_string()),
+            ("completed", self.completed.to_string()),
+            ("cluster_energy_j", format!("{:.3}", self.cluster_energy_j)),
+            (
+                "cluster_makespan_s",
+                format!("{:.3}", self.cluster_makespan.as_secs_f64()),
+            ),
+            ("migrations", self.migrations.to_string()),
+            ("voltage_changes", self.voltage_changes.to_string()),
+            ("failures", self.failures.to_string()),
+            ("unsafe_time_s", format!("{:.3}", self.unsafe_time_s)),
+            ("reassigned", self.redispatch.reassigned.to_string()),
+            ("exhausted", self.redispatch.exhausted.to_string()),
+            ("lost_jobs", self.lost_jobs.to_string()),
+        ]
     }
 }

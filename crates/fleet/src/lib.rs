@@ -49,7 +49,9 @@ pub mod node;
 pub mod redispatch;
 pub mod routing;
 
-pub use engine::{AdmissionStats, AppliedFaults, EpochAudit, Fleet, FleetConfig, FleetSummary};
+pub use engine::{
+    AdmissionStats, AppliedFaults, EpochAudit, Fleet, FleetBuilder, FleetConfig, FleetSummary,
+};
 pub use health::{
     HealthConfig, HealthState, HealthTracker, HealthTransition, NodeFaultKind, NodeFaultPlan,
     NodeFaultRates, NodeFaultStats, ScriptedFault,

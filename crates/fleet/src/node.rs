@@ -329,8 +329,10 @@ impl Node {
             seed: cfg.seed,
             ..SystemConfig::default()
         };
-        let mut system =
-            System::with_observer(chip, cfg.kind.perf_model(), sys_cfg, telemetry.clone());
+        let mut system = System::builder(chip, cfg.kind.perf_model())
+            .config(sys_cfg)
+            .observer(telemetry.clone())
+            .build();
         let st = system.begin_run(driver.as_dyn_mut());
         Node {
             id,

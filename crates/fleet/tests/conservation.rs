@@ -44,7 +44,7 @@ proptest! {
             1 => &mut lq,
             _ => &mut ea,
         };
-        let summary = Fleet::new(&cfg).run(&tiny_trace(seed), policy);
+        let summary = Fleet::builder().config(cfg).build().run(&tiny_trace(seed), policy);
         let a = summary.admission;
         prop_assert!(a.submitted > 0);
         prop_assert_eq!(

@@ -40,7 +40,7 @@ fn policy(which: &str) -> Box<dyn RoutingPolicy> {
 }
 
 fn run_with(workers: usize, policy: &mut dyn RoutingPolicy) -> FleetSummary {
-    let fleet = Fleet::new(&small_cluster(workers));
+    let fleet = Fleet::builder().config(small_cluster(workers)).build();
     fleet.run(&small_trace(7), policy)
 }
 

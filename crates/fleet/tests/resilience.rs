@@ -66,7 +66,7 @@ proptest! {
             1 => &mut lq,
             _ => &mut ea,
         };
-        let summary = Fleet::new(&cfg).run(&trace(seed), policy);
+        let summary = Fleet::builder().config(cfg).build().run(&trace(seed), policy);
         prop_assert!(summary.admission.submitted > 0);
         prop_assert!(!summary.audits.is_empty(), "audit mode recorded nothing");
         let failed = summary.failed_audits();
@@ -97,7 +97,10 @@ fn failures_do_not_break_worker_determinism() {
         let mut plan = NodeFaultPlan::uniform(23, 0.01);
         plan.push(crash(4, 1));
         cfg.fault_plan = Some(plan);
-        Fleet::new(&cfg).run(&trace(23), &mut EnergyAware::new())
+        Fleet::builder()
+            .config(cfg)
+            .build()
+            .run(&trace(23), &mut EnergyAware::new())
     };
     let one = run(1);
     assert!(
@@ -126,7 +129,10 @@ fn failures_do_not_break_worker_determinism() {
 fn crashed_node_jobs_redispatch_to_survivors() {
     let mut cfg = cluster(2);
     cfg.fault_plan = Some(NodeFaultPlan::scripted(vec![crash(5, 1)]));
-    let summary = Fleet::new(&cfg).run(&trace(7), &mut EnergyAware::new());
+    let summary = Fleet::builder()
+        .config(cfg)
+        .build()
+        .run(&trace(7), &mut EnergyAware::new());
 
     assert_eq!(summary.faults.crashes, 1);
     let dead = &summary.nodes[1];
@@ -170,7 +176,10 @@ fn stalled_node_recovers_through_probation() {
         node: NodeId(2),
         kind: NodeFaultKind::Stall { epochs: 6 },
     }]));
-    let summary = Fleet::new(&cfg).run(&trace(7), &mut EnergyAware::new());
+    let summary = Fleet::builder()
+        .config(cfg)
+        .build()
+        .run(&trace(7), &mut EnergyAware::new());
 
     assert_eq!(summary.faults.stalls, 1);
     let stalled = &summary.nodes[2];
@@ -234,7 +243,10 @@ fn health_gate_rejects_fenced_choices_with_typed_error() {
     // fenced node gets zero new work and jobs keep completing elsewhere.
     let mut cfg = cluster(1);
     cfg.fault_plan = Some(NodeFaultPlan::scripted(vec![crash(3, 0)]));
-    let summary = Fleet::new(&cfg).run(&trace(7), &mut Pinned(NodeId(0)));
+    let summary = Fleet::builder()
+        .config(cfg)
+        .build()
+        .run(&trace(7), &mut Pinned(NodeId(0)));
     assert!(
         summary.routed_to_fenced > 0,
         "pinned policy never hit the gate: {:?}",
@@ -282,7 +294,10 @@ fn shed_counter_and_journal_agree() {
     let mut dense = GeneratorConfig::paper_default(32, 5);
     dense.duration = SimDuration::from_secs(30);
     dense.job_scale = 0.6;
-    let summary = Fleet::new(&cfg).run(&WorkloadTrace::generate(&dense), &mut RoundRobin::new());
+    let summary = Fleet::builder()
+        .config(cfg)
+        .build()
+        .run(&WorkloadTrace::generate(&dense), &mut RoundRobin::new());
     let shed = summary.admission.shed();
     assert!(shed > 0, "capacity-1 cluster did not shed");
     let journal = summary.journal.as_deref().unwrap_or("");

@@ -26,7 +26,9 @@
 //! let trace = WorkloadTrace::generate(&cfg);
 //!
 //! let chip = presets::xgene2().build();
-//! let mut system = System::new(chip, PerfModel::xgene2(), SystemConfig::default());
+//! let mut system = System::builder(chip, PerfModel::xgene2())
+//!     .config(SystemConfig::default())
+//!     .build();
 //! let metrics = system.run(&trace, &mut DefaultPolicy::ondemand());
 //! assert!(metrics.energy_j > 0.0);
 //! ```
@@ -35,10 +37,12 @@ pub mod driver;
 pub mod governor;
 pub mod metrics;
 pub mod process;
+pub mod report;
 pub mod system;
 
 pub use driver::{Action, Driver, SysEvent, SystemView};
 pub use governor::GovernorMode;
 pub use metrics::RunMetrics;
 pub use process::{Pid, Process, ProcessState};
-pub use system::{RunState, System, SystemConfig};
+pub use report::Report;
+pub use system::{RunState, System, SystemBuilder, SystemConfig};

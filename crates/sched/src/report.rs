@@ -1,0 +1,148 @@
+//! A single result-reporting surface for run artifacts.
+//!
+//! `exp`, `avfs-analyze --format json`, and the bench harness each used
+//! to hand-roll their own serialization of [`RunMetrics`] (and of the
+//! daemon/fleet summaries in downstream crates). [`Report`] unifies
+//! the three operations every consumer needs: a deterministic
+//! fingerprint for byte-identity comparisons, a flat JSON object for
+//! machine consumption, and labeled rows for human-readable tables.
+//!
+//! All renderings are deterministic by construction: key sets are
+//! static, floats are either formatted with `{}` (shortest round-trip
+//! representation, locale-independent) or digested via `to_bits`, and
+//! collections are traversed in their stored (already deterministic)
+//! order.
+
+use crate::metrics::RunMetrics;
+
+/// Uniform reporting surface for run results ([`RunMetrics`], and
+/// `DaemonStats` / `FleetSummary` in the crates that own them).
+pub trait Report {
+    /// A deterministic digest of everything observable in the result.
+    /// Two runs are byte-identical in this surface iff their
+    /// fingerprints match (floats are compared via `to_bits`, so even
+    /// sub-ulp drift is caught).
+    fn fingerprint(&self) -> String;
+
+    /// The result as one flat JSON object with a static key set.
+    fn to_json(&self) -> String;
+
+    /// Labeled `(name, value)` rows for a human-readable summary table.
+    fn summary_table(&self) -> Vec<(&'static str, String)>;
+}
+
+impl Report for RunMetrics {
+    fn fingerprint(&self) -> String {
+        // Completion records folded positionally so the digest covers
+        // every record without rendering them all.
+        let mut rec_fold: u64 = 0xcbf2_9ce4_8422_2325;
+        for r in &self.completed {
+            for v in [
+                r.pid.0,
+                r.arrived_at.as_nanos(),
+                r.finished_at.as_nanos(),
+                r.threads as u64,
+                u64::from(r.migrations),
+            ] {
+                rec_fold = (rec_fold ^ v).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        format!(
+            "makespan_ns={} energy={:016x} avg_power={:016x} completed={} \
+             records={rec_fold:016x} migrations={} vchanges={} unsafe={:016x} failures={}",
+            self.makespan.as_nanos(),
+            self.energy_j.to_bits(),
+            self.avg_power_w.to_bits(),
+            self.completed.len(),
+            self.migrations,
+            self.voltage_changes,
+            self.unsafe_time_s.to_bits(),
+            self.failures,
+        )
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"makespan_s\":{},\"energy_j\":{},\"avg_power_w\":{},\"ed2p\":{},\
+             \"completed\":{},\"migrations\":{},\"voltage_changes\":{},\
+             \"unsafe_time_s\":{},\"failures\":{},\"mean_turnaround_s\":{}}}",
+            self.makespan.as_secs_f64(),
+            self.energy_j,
+            self.avg_power_w,
+            self.ed2p(),
+            self.completed.len(),
+            self.migrations,
+            self.voltage_changes,
+            self.unsafe_time_s,
+            self.failures,
+            self.mean_turnaround_s(),
+        )
+    }
+
+    fn summary_table(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("makespan_s", format!("{:.3}", self.makespan.as_secs_f64())),
+            ("energy_j", format!("{:.3}", self.energy_j)),
+            ("avg_power_w", format!("{:.3}", self.avg_power_w)),
+            ("ed2p", format!("{:.3}", self.ed2p())),
+            ("completed", self.completed.len().to_string()),
+            ("migrations", self.migrations.to_string()),
+            ("voltage_changes", self.voltage_changes.to_string()),
+            ("unsafe_time_s", format!("{:.3}", self.unsafe_time_s)),
+            ("failures", self.failures.to_string()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ProcessRecord;
+    use crate::process::Pid;
+    use avfs_sim::time::{SimDuration, SimTime};
+
+    fn sample() -> RunMetrics {
+        RunMetrics {
+            makespan: SimDuration::from_secs(10),
+            energy_j: 123.5,
+            avg_power_w: 12.35,
+            completed: vec![ProcessRecord {
+                pid: Pid(7),
+                arrived_at: SimTime::from_secs(1),
+                finished_at: SimTime::from_secs(4),
+                threads: 2,
+                migrations: 1,
+            }],
+            migrations: 1,
+            voltage_changes: 3,
+            unsafe_time_s: 0.0,
+            failures: 0,
+            ..RunMetrics::default()
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_sensitive_to_sub_ulp_energy_changes() {
+        let a = sample();
+        let mut b = sample();
+        assert_eq!(Report::fingerprint(&a), Report::fingerprint(&b));
+        b.energy_j = f64::from_bits(b.energy_j.to_bits() + 1);
+        assert_ne!(Report::fingerprint(&a), Report::fingerprint(&b));
+    }
+
+    #[test]
+    fn json_is_a_flat_object_with_static_keys() {
+        let j = sample().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        for key in ["makespan_s", "energy_j", "completed", "failures"] {
+            assert!(j.contains(&format!("\"{key}\":")), "missing {key} in {j}");
+        }
+    }
+
+    #[test]
+    fn summary_table_rows_match_the_metric_surface() {
+        let rows = sample().summary_table();
+        assert_eq!(rows[0].0, "makespan_s");
+        assert!(rows.iter().any(|(k, v)| *k == "completed" && v == "1"));
+    }
+}

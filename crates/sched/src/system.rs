@@ -28,6 +28,7 @@ use avfs_chip::chip::Chip;
 use avfs_chip::error::ChipError;
 use avfs_chip::power::{PmdLoad, PowerInputs};
 use avfs_chip::topology::{CoreId, CoreSet, PmdId};
+use avfs_chip::FreqStep;
 use avfs_sim::stats::TimeWeighted;
 use avfs_sim::time::{SimDuration, SimTime};
 use avfs_sim::RngStream;
@@ -85,6 +86,42 @@ impl Default for SystemConfig {
     }
 }
 
+/// Per-process effective conditions at one instant:
+/// `(progress rate per second, min thread freq MHz, mem_mult)`.
+type Cond = (f64, u32, f64);
+
+/// Looks up `pid` in a pid-sorted conditions slice.
+fn cond_of(conds: &[(Pid, Cond)], pid: Pid) -> Option<Cond> {
+    conds
+        .binary_search_by_key(&pid, |(p, _)| *p)
+        .ok()
+        .map(|i| conds[i].1)
+}
+
+/// Reusable hot-path buffers, cleared and refilled per event instead of
+/// re-allocated. Pure caches of capacity — nothing in here survives an
+/// event observably, so dropping the whole struct between any two events
+/// would not change a single output byte.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Pid-sorted per-process conditions for the current instant.
+    conds: Vec<(Pid, Cond)>,
+    /// Core-index → owning pid, for L2-partner lookups.
+    owner: Vec<Option<Pid>>,
+    /// Recycled driver snapshot (its vecs keep their capacity).
+    view: Option<SystemView>,
+    /// Pids finishing at the current instant.
+    finished: Vec<Pid>,
+    /// Per-PMD load accumulator for power evaluation.
+    loads: Vec<PmdLoad>,
+    /// Per-PMD activity accumulator for power evaluation.
+    act_sum: Vec<f64>,
+    /// Free cores considered by default admission.
+    free: Vec<CoreId>,
+    /// Governor frequency-step decisions staged before application.
+    steps: Vec<(PmdId, FreqStep)>,
+}
+
 /// Per-process monitoring state.
 #[derive(Debug, Clone)]
 struct MonitorState {
@@ -115,6 +152,7 @@ pub struct System {
     migrations: u64,
     rejected_actions: u64,
     telemetry: Telemetry,
+    scratch: Scratch,
 }
 
 /// Bookkeeping for an in-progress incremental run (see
@@ -145,6 +183,59 @@ impl RunState {
     /// Latest completion time seen so far.
     pub fn last_finish(&self) -> SimTime {
         self.last_finish
+    }
+
+    /// Event-loop iterations executed so far — the event count the
+    /// throughput benches divide wall time by.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+}
+
+/// Builder for [`System`] — chip, performance model, configuration,
+/// seed, and observer in one fluent construction path (see
+/// [`System::builder`]).
+#[derive(Debug)]
+pub struct SystemBuilder {
+    chip: Chip,
+    perf: PerfModel,
+    config: SystemConfig,
+    telemetry: Option<Telemetry>,
+}
+
+impl SystemBuilder {
+    /// Replaces the whole simulator configuration.
+    pub fn config(mut self, config: SystemConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the root seed for the simulator's stochastic models
+    /// (overrides the seed inside any [`Self::config`] given earlier).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Routes the system's (and the chip's) decision points through
+    /// `telemetry`.
+    pub fn observer(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Builds the system.
+    pub fn build(self) -> System {
+        let SystemBuilder {
+            mut chip,
+            perf,
+            config,
+            telemetry,
+        } = self;
+        if let Some(telemetry) = telemetry {
+            chip.set_telemetry(telemetry);
+        }
+        System::new(chip, perf, config)
     }
 }
 
@@ -184,6 +275,28 @@ impl System {
             migrations: 0,
             rejected_actions: 0,
             telemetry,
+            scratch: Scratch::default(),
+        }
+    }
+
+    /// Starts a [`SystemBuilder`] — the blessed construction path.
+    ///
+    /// ```
+    /// use avfs_chip::presets;
+    /// use avfs_sched::system::{System, SystemConfig};
+    /// use avfs_workloads::PerfModel;
+    ///
+    /// let sys = System::builder(presets::xgene2().build(), PerfModel::xgene2())
+    ///     .config(SystemConfig::default())
+    ///     .seed(42)
+    ///     .build();
+    /// ```
+    pub fn builder(chip: Chip, perf: PerfModel) -> SystemBuilder {
+        SystemBuilder {
+            chip,
+            perf,
+            config: SystemConfig::default(),
+            telemetry: None,
         }
     }
 
@@ -191,6 +304,9 @@ impl System {
     /// paths) report through `telemetry`. The observer seam for the
     /// scheduler layer: `System::new` is exactly
     /// `with_observer(..., Telemetry::null())` on an uninstrumented chip.
+    #[deprecated(
+        note = "use System::builder(chip, perf).config(config).observer(telemetry).build()"
+    )]
     pub fn with_observer(
         mut chip: Chip,
         perf: PerfModel,
@@ -364,6 +480,13 @@ impl System {
             self.bump_iterations(st);
             self.process_due(st, driver);
 
+            // Conditions are computed once per iteration and shared by
+            // the completion-time scan and the slice integration below —
+            // nothing between the two mutates state they depend on.
+            let mut conds = std::mem::take(&mut self.scratch.conds);
+            let mut owner = std::mem::take(&mut self.scratch.owner);
+            self.fill_conditions(&mut conds, &mut owner);
+
             // Candidate next event times, capped at the horizon.
             let mut next = horizon;
             if self.live_processes() > 0 {
@@ -377,13 +500,15 @@ impl System {
                     next = next.min(p.stalled_until);
                 }
             }
-            if let Some(t) = self.earliest_completion() {
+            if let Some(t) = self.earliest_completion(&conds) {
                 next = next.min(t);
             }
             let next = next.max(self.now);
 
             // Integrate the slice [now, next).
-            self.advance_to(next, &mut st.metrics);
+            self.advance_to(next, &conds, &mut st.metrics);
+            self.scratch.conds = conds;
+            self.scratch.owner = owner;
         }
     }
 
@@ -400,6 +525,10 @@ impl System {
                 return;
             }
 
+            let mut conds = std::mem::take(&mut self.scratch.conds);
+            let mut owner = std::mem::take(&mut self.scratch.owner);
+            self.fill_conditions(&mut conds, &mut owner);
+
             // Candidate next event times (live > 0 here, so the monitor
             // and sampler are always candidates).
             let mut next = st.next_monitor.min(st.next_sample);
@@ -408,12 +537,14 @@ impl System {
                     next = next.min(p.stalled_until);
                 }
             }
-            if let Some(t) = self.earliest_completion() {
+            if let Some(t) = self.earliest_completion(&conds) {
                 next = next.min(t);
             }
             assert!(next < SimTime::MAX, "simulation stuck with no next event");
             let next = next.max(self.now);
-            self.advance_to(next, &mut st.metrics);
+            self.advance_to(next, &conds, &mut st.metrics);
+            self.scratch.conds = conds;
+            self.scratch.owner = owner;
         }
     }
 
@@ -440,13 +571,15 @@ impl System {
     /// this runs — see [`Self::step_until`].)
     fn process_due(&mut self, st: &mut RunState, driver: &mut dyn Driver) {
         // Completions.
-        let finished: Vec<Pid> = self
-            .procs
-            .values()
-            .filter(|p| p.is_running() && p.progress >= 1.0 - 1e-9)
-            .map(|p| p.pid)
-            .collect();
-        for pid in finished {
+        let mut finished = std::mem::take(&mut self.scratch.finished);
+        finished.clear();
+        finished.extend(
+            self.procs
+                .values()
+                .filter(|p| p.is_running() && p.progress >= 1.0 - 1e-9)
+                .map(|p| p.pid),
+        );
+        for &pid in &finished {
             let record = {
                 let p = self.procs.get_mut(&pid).expect("finished pid");
                 p.state = ProcessState::Finished;
@@ -466,7 +599,12 @@ impl System {
             self.dispatch(driver, SysEvent::ProcessFinished(pid), &mut st.metrics);
             self.try_admit();
             self.apply_governor();
+            // Every observer filters on the Finished state, so dropping
+            // the entry now is invisible — and keeps the process table
+            // (scanned per slice) from growing with run length.
+            self.procs.remove(&pid);
         }
+        self.scratch.finished = finished;
 
         // Monitoring window.
         if self.now >= st.next_monitor {
@@ -525,41 +663,60 @@ impl System {
     // Internals
     // ------------------------------------------------------------------
 
-    /// Builds the sanitized snapshot for drivers.
+    /// Builds the sanitized snapshot for drivers. Allocates fresh
+    /// buffers; the dispatch loop recycles one snapshot through
+    /// [`Self::fill_view`] instead.
     fn view(&self) -> SystemView {
-        let processes = self
-            .procs
-            .values()
-            .filter(|p| p.state != ProcessState::Finished)
-            .map(|p| {
-                let mon = self.monitors.get(&p.pid);
-                ProcessView {
-                    pid: p.pid,
-                    threads: p.threads,
-                    state: p.state,
-                    assigned: p.assigned,
-                    l3c_per_mcycle: mon.and_then(|m| m.last_rate),
-                    class: mon.and_then(|m| m.classifier.current()),
-                    arrived_at: p.arrived_at,
-                    stalled_until: (p.is_running() && p.stalled_until > self.now)
-                        .then_some(p.stalled_until),
-                }
-            })
-            .collect();
-        SystemView {
+        let mut view = SystemView {
             now: self.now,
             spec: self.chip.spec().clone(),
             voltage: self.chip.voltage(),
-            pmd_steps: self
-                .chip
-                .spec()
-                .all_pmds()
-                .map(|p| self.chip.pmd_freq_step(p).expect("valid pmd"))
-                .collect(),
+            pmd_steps: Vec::new(),
             governor: self.governor,
             droop_alert: self.chip.droop_excursion_active(),
-            processes,
+            processes: Vec::new(),
+        };
+        self.fill_view(&mut view);
+        view
+    }
+
+    /// Refreshes a previously-built snapshot in place, reusing its
+    /// buffers. Produces exactly the view [`Self::view`] would build.
+    fn fill_view(&self, view: &mut SystemView) {
+        if view.spec != *self.chip.spec() {
+            view.spec = self.chip.spec().clone();
         }
+        view.now = self.now;
+        view.voltage = self.chip.voltage();
+        view.governor = self.governor;
+        view.droop_alert = self.chip.droop_excursion_active();
+        view.pmd_steps.clear();
+        view.pmd_steps.extend(
+            self.chip
+                .spec()
+                .all_pmds()
+                .map(|p| self.chip.pmd_freq_step(p).expect("valid pmd")),
+        );
+        view.processes.clear();
+        view.processes.extend(
+            self.procs
+                .values()
+                .filter(|p| p.state != ProcessState::Finished)
+                .map(|p| {
+                    let mon = self.monitors.get(&p.pid);
+                    ProcessView {
+                        pid: p.pid,
+                        threads: p.threads,
+                        state: p.state,
+                        assigned: p.assigned,
+                        l3c_per_mcycle: mon.and_then(|m| m.last_rate),
+                        class: mon.and_then(|m| m.classifier.current()),
+                        arrived_at: p.arrived_at,
+                        stalled_until: (p.is_running() && p.stalled_until > self.now)
+                            .then_some(p.stalled_until),
+                    }
+                }),
+        );
     }
 
     /// Delivers one event to the driver and applies its plan, then feeds
@@ -571,7 +728,14 @@ impl System {
     fn dispatch(&mut self, driver: &mut dyn Driver, event: SysEvent, metrics: &mut RunMetrics) {
         self.telemetry.advance_to(self.now);
         self.telemetry.counter_inc("sched.events");
-        let acts = driver.on_event(&self.view(), &event);
+        let mut view = match self.scratch.view.take() {
+            Some(mut view) => {
+                self.fill_view(&mut view);
+                view
+            }
+            None => self.view(),
+        };
+        let acts = driver.on_event(&view, &event);
         self.telemetry
             .histogram_observe("sched.actions_per_event", acts.len() as u64);
         let event_label = event.label();
@@ -590,11 +754,13 @@ impl System {
             let mut next = Vec::new();
             for notice in notices {
                 self.telemetry.counter_inc("sched.fault_feedback_events");
-                let acts = driver.on_event(&self.view(), &SysEvent::OperationFault(notice));
+                self.fill_view(&mut view);
+                let acts = driver.on_event(&view, &SysEvent::OperationFault(notice));
                 next.extend(self.apply_actions(&acts, metrics));
             }
             notices = next;
         }
+        self.scratch.view = Some(view);
     }
 
     /// Aggregate memory pressure of running processes, accounting for
@@ -622,16 +788,19 @@ impl System {
             .sum()
     }
 
-    /// Per-running-process effective conditions for the current instant.
-    fn conditions(&self) -> BTreeMap<Pid, (f64, u32, f64)> {
-        // (progress rate per second, min thread freq MHz, mem_mult)
-        let mut out = BTreeMap::new();
+    /// Computes per-running-process effective conditions for the current
+    /// instant into `conds` (pid-sorted), using `owner` as core-owner
+    /// scratch for L2-partner lookups.
+    fn fill_conditions(&self, conds: &mut Vec<(Pid, Cond)>, owner: &mut Vec<Option<Pid>>) {
+        conds.clear();
+        owner.clear();
         let base_mult = self.perf.mem_contention_mult(self.total_pressure());
-        // Owner of each core, for L2-partner lookup.
-        let mut owner: BTreeMap<usize, Pid> = BTreeMap::new();
         for p in self.procs.values().filter(|p| p.is_running()) {
             for c in p.assigned.iter() {
-                owner.insert(c.index(), p.pid);
+                if c.index() >= owner.len() {
+                    owner.resize(c.index() + 1, None);
+                }
+                owner[c.index()] = Some(p.pid);
             }
         }
         for p in self.procs.values().filter(|p| p.is_running()) {
@@ -645,7 +814,7 @@ impl System {
                     .pmd_frequency(pmd)
                     .expect("assigned core on valid pmd")
                     .as_mhz();
-                let partner_mem = self.l2_partner_mem(core, &owner);
+                let partner_mem = self.l2_partner_mem(core, owner);
                 let mult = base_mult * self.perf.l2_share_mult(partner_mem);
                 let rate = self.perf.progress_rate(&p.work, freq, mult);
                 if rate < worst_rate {
@@ -658,47 +827,43 @@ impl System {
                 continue;
             }
             let stalled = p.stalled_until > self.now;
-            out.insert(
+            conds.push((
                 p.pid,
                 (if stalled { 0.0 } else { worst_rate }, min_freq, worst_mult),
-            );
+            ));
         }
-        out
     }
 
     /// Memory intensity of the process on the other core of `core`'s PMD,
     /// if that core is busy with a *different* thread.
-    fn l2_partner_mem(&self, core: CoreId, owner: &BTreeMap<usize, Pid>) -> Option<f64> {
+    fn l2_partner_mem(&self, core: CoreId, owner: &[Option<Pid>]) -> Option<f64> {
         let spec = self.chip.spec();
         let pmd = spec.pmd_of(core);
-        spec.cores_of(pmd)
-            .into_iter()
+        spec.cores_of_iter(pmd)
             .filter(|&c| c != core)
-            .find_map(|c| owner.get(&c.index()))
+            .find_map(|c| owner.get(c.index()).copied().flatten())
             .map(|pid| {
-                let q = &self.procs[pid];
+                let q = &self.procs[&pid];
                 phases::effective_profile(q.bench, q.progress).mem_fraction
             })
     }
 
-    /// The earliest running-process completion time, if any.
-    fn earliest_completion(&self) -> Option<SimTime> {
-        let conds = self.conditions();
+    /// The earliest running-process completion time, if any, given the
+    /// current conditions.
+    fn earliest_completion(&self, conds: &[(Pid, Cond)]) -> Option<SimTime> {
         let mut earliest: Option<SimTime> = None;
-        for p in self.procs.values().filter(|p| p.is_running()) {
-            let Some(&(rate, _, _)) = conds.get(&p.pid) else {
-                continue;
-            };
-            let t = if p.stalled_until > self.now {
+        for &(pid, (rate, _, _)) in conds {
+            let p = &self.procs[&pid];
+            if p.stalled_until > self.now {
                 // Resumes later; completion considered after resume.
                 continue;
-            } else if rate <= 0.0 {
+            }
+            if rate <= 0.0 {
                 continue;
-            } else {
-                // At least 1 ns in the future so the event loop always
-                // advances.
-                self.now + SimDuration::from_secs_f64((p.remaining() / rate).max(1e-9))
-            };
+            }
+            // At least 1 ns in the future so the event loop always
+            // advances.
+            let t = self.now + SimDuration::from_secs_f64((p.remaining() / rate).max(1e-9));
             earliest = Some(match earliest {
                 None => t,
                 Some(e) => e.min(t),
@@ -709,16 +874,19 @@ impl System {
 
     /// Integrates state forward to `target` (progress, energy, PMU,
     /// droops, safety accounting).
-    fn advance_to(&mut self, target: SimTime, metrics: &mut RunMetrics) {
+    fn advance_to(&mut self, target: SimTime, conds: &[(Pid, Cond)], metrics: &mut RunMetrics) {
         if target <= self.now {
             return;
         }
         let dt = (target - self.now).as_secs_f64();
-        let conds = self.conditions();
 
         // Power for this slice.
-        let inputs = self.power_inputs(&conds);
+        let loads = std::mem::take(&mut self.scratch.loads);
+        let mut act_sum = std::mem::take(&mut self.scratch.act_sum);
+        let inputs = self.power_inputs_into(conds, loads, &mut act_sum);
         let watts = self.chip.evaluate_power_w(&inputs);
+        self.scratch.loads = inputs.pmd_loads;
+        self.scratch.act_sum = act_sum;
         self.energy_j += watts * dt;
         self.power_acc.set(self.now, watts);
 
@@ -746,8 +914,8 @@ impl System {
         let mut chip_cycles_at_fmax = 0u64;
         let mut activity_sum = 0.0;
         let mut active_threads = 0usize;
-        for (pid, &(rate, freq, mult)) in &conds {
-            let p = self.procs.get_mut(pid).expect("cond pid");
+        for &(pid, (rate, freq, mult)) in conds {
+            let p = self.procs.get_mut(&pid).expect("cond pid");
             let run_dt = if p.stalled_until > self.now {
                 // Stall may end inside the slice (slice boundaries include
                 // stall ends, so this is exact, not an approximation).
@@ -805,14 +973,23 @@ impl System {
         self.now = target;
     }
 
-    /// Builds the chip power inputs for the current instant.
-    fn power_inputs(&self, conds: &BTreeMap<Pid, (f64, u32, f64)>) -> PowerInputs {
+    /// Builds the chip power inputs for the current instant. `loads`
+    /// moves in and out through the returned [`PowerInputs`] so the
+    /// caller can recycle it; `act_sum` is plain scratch.
+    fn power_inputs_into(
+        &self,
+        conds: &[(Pid, Cond)],
+        mut loads: Vec<PmdLoad>,
+        act_sum: &mut Vec<f64>,
+    ) -> PowerInputs {
         let spec = self.chip.spec();
-        let mut loads = vec![PmdLoad::IDLE; spec.pmds() as usize];
-        let mut act_sum = vec![0.0f64; spec.pmds() as usize];
+        loads.clear();
+        loads.resize(spec.pmds() as usize, PmdLoad::IDLE);
+        act_sum.clear();
+        act_sum.resize(spec.pmds() as usize, 0.0);
         for p in self.procs.values().filter(|p| p.is_running()) {
             let profile = phases::effective_profile(p.bench, p.progress);
-            let (_, freq, mult) = conds.get(&p.pid).copied().unwrap_or((0.0, 0, 1.0));
+            let (_, freq, mult) = cond_of(conds, p.pid).unwrap_or((0.0, 0, 1.0));
             let act = self
                 .perf
                 .effective_activity(&profile, &p.work, freq.max(1), mult);
@@ -904,9 +1081,8 @@ impl System {
 
     /// Pins (places or migrates) a process; returns false when invalid.
     fn pin_process(&mut self, pid: Pid, cores: CoreSet) -> bool {
-        let spec = self.chip.spec().clone();
         // Validate the target cores exist.
-        if cores.iter().any(|c| !spec.contains_core(c)) {
+        if cores.iter().any(|c| !self.chip.spec().contains_core(c)) {
             return false;
         }
         let Some(p) = self.procs.get(&pid) else {
@@ -980,22 +1156,30 @@ impl System {
             }
             let threads = p.threads;
             let busy = self.busy_cores();
-            let spec = self.chip.spec();
-            let mut free: Vec<CoreId> = spec.all_cores().filter(|&c| !busy.contains(c)).collect();
-            if free.len() < threads {
-                return; // head-of-line blocks until cores free up
-            }
-            // Order: idle-PMD cores first, then by PMD occupancy.
-            free.sort_by_key(|&c| {
-                let pmd = spec.pmd_of(c);
-                let occupancy = spec
-                    .cores_of(pmd)
-                    .iter()
-                    .filter(|&&x| busy.contains(x))
-                    .count();
-                (occupancy, pmd.index(), c.index())
-            });
-            let chosen: CoreSet = free.into_iter().take(threads).collect();
+            let mut free = std::mem::take(&mut self.scratch.free);
+            free.clear();
+            let chosen = {
+                let spec = self.chip.spec();
+                free.extend(spec.all_cores().filter(|&c| !busy.contains(c)));
+                if free.len() < threads {
+                    None // head-of-line blocks until cores free up
+                } else {
+                    // Order: idle-PMD cores first, then by PMD occupancy.
+                    free.sort_by_key(|&c| {
+                        let pmd = spec.pmd_of(c);
+                        let occupancy = spec
+                            .cores_of_iter(pmd)
+                            .filter(|&x| busy.contains(x))
+                            .count();
+                        (occupancy, pmd.index(), c.index())
+                    });
+                    Some(free.iter().take(threads).copied().collect::<CoreSet>())
+                }
+            };
+            self.scratch.free = free;
+            let Some(chosen) = chosen else {
+                return;
+            };
             // pin_process transitions the process to Running and removes
             // it from the queue itself.
             let ok = self.pin_process(pid, chosen);
@@ -1009,15 +1193,23 @@ impl System {
             return;
         }
         let busy = self.busy_cores();
-        let spec = self.chip.spec().clone();
-        for pmd in spec.all_pmds() {
-            let pmd_busy = spec.cores_of(pmd).iter().any(|&c| busy.contains(c));
-            if let Some(step) = self.governor.desired_step(pmd_busy) {
-                self.chip
-                    .set_pmd_freq_step(pmd, step)
-                    .expect("governor uses valid pmds");
+        let mut steps = std::mem::take(&mut self.scratch.steps);
+        steps.clear();
+        {
+            let spec = self.chip.spec();
+            for pmd in spec.all_pmds() {
+                let pmd_busy = spec.cores_of_iter(pmd).any(|c| busy.contains(c));
+                if let Some(step) = self.governor.desired_step(pmd_busy) {
+                    steps.push((pmd, step));
+                }
             }
         }
+        for &(pmd, step) in &steps {
+            self.chip
+                .set_pmd_freq_step(pmd, step)
+                .expect("governor uses valid pmds");
+        }
+        self.scratch.steps = steps;
     }
 
     /// Closes monitoring windows; returns processes whose class flipped.
@@ -1062,9 +1254,17 @@ impl System {
 
     /// Records one trace sample (Figures 14/15).
     fn record_sample(&mut self, metrics: &mut RunMetrics) {
-        let conds = self.conditions();
-        let inputs = self.power_inputs(&conds);
+        let mut conds = std::mem::take(&mut self.scratch.conds);
+        let mut owner = std::mem::take(&mut self.scratch.owner);
+        self.fill_conditions(&mut conds, &mut owner);
+        let loads = std::mem::take(&mut self.scratch.loads);
+        let mut act_sum = std::mem::take(&mut self.scratch.act_sum);
+        let inputs = self.power_inputs_into(&conds, loads, &mut act_sum);
         let watts = self.chip.evaluate_power_w(&inputs);
+        self.scratch.loads = inputs.pmd_loads;
+        self.scratch.act_sum = act_sum;
+        self.scratch.conds = conds;
+        self.scratch.owner = owner;
         metrics.power_trace.push(self.now, watts);
         let running_threads: usize = self
             .procs

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Benchmark driver around the avfs-bench harness.
+#
+#   scripts/bench.sh            run the criterion suites + the
+#                               throughput harness, print the report
+#   scripts/bench.sh --write    same, then refresh the committed
+#                               BENCH_8.json baseline at the repo root
+#   scripts/bench.sh --smoke    throughput harness only, quick single
+#                               repetition, gated against BENCH_8.json:
+#                               any throughput metric more than 20%
+#                               below the baseline fails the run
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-}"
+
+case "$mode" in
+  --smoke)
+    echo "==> throughput smoke gate (vs BENCH_8.json, 20% tolerance)"
+    cargo bench -q -p avfs-bench --bench throughput -- --smoke
+    ;;
+  --write)
+    echo "==> criterion suites"
+    cargo bench -q -p avfs-bench --bench characterization
+    cargo bench -q -p avfs-bench --bench tradeoffs
+    cargo bench -q -p avfs-bench --bench daemon
+    cargo bench -q -p avfs-bench --bench fleet
+    echo "==> throughput harness (writing BENCH_8.json)"
+    cargo bench -q -p avfs-bench --bench throughput -- --write
+    ;;
+  "")
+    echo "==> criterion suites"
+    cargo bench -q -p avfs-bench --bench characterization
+    cargo bench -q -p avfs-bench --bench tradeoffs
+    cargo bench -q -p avfs-bench --bench daemon
+    cargo bench -q -p avfs-bench --bench fleet
+    echo "==> throughput harness"
+    cargo bench -q -p avfs-bench --bench throughput
+    ;;
+  *)
+    echo "usage: scripts/bench.sh [--write|--smoke]" >&2
+    exit 2
+    ;;
+esac

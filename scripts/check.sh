@@ -68,4 +68,7 @@ cmp "$trace_dir/a.jsonl" "$trace_dir/b.jsonl"
 echo "==> telemetry observer guard (null-path overhead within noise)"
 cargo test -q --release -p avfs-bench --test observer_guard
 
+echo "==> bench smoke gate (throughput vs BENCH_8.json, 20% tolerance)"
+scripts/bench.sh --smoke
+
 echo "All checks passed."
