@@ -41,7 +41,13 @@
 //!   domain (frequency class × utilized PMDs × threads × intensity ×
 //!   droop guard × recovery state) proving the chooser never
 //!   undervolts the physical worst case and never costs more power
-//!   than nominal, cell by cell.
+//!   than nominal, cell by cell — for the model-derived table or any
+//!   supplied one ([`proof::prove_preset_with_table`]).
+//! * [`margins`] — the measured-table audit: runs an
+//!   `avfs-characterize` campaign per preset, replays the compiled
+//!   table against the hidden ground truth the campaign never read,
+//!   checks monotonicity and byte-identical determinism, and feeds the
+//!   measured table through the full policy-domain proof.
 //!
 //! Run everything from the binary:
 //!
@@ -62,6 +68,7 @@ pub mod invariant;
 pub mod invariants;
 pub mod jsonout;
 pub mod lint;
+pub mod margins;
 pub mod model;
 pub mod proof;
 pub mod race;

@@ -7,7 +7,8 @@
 //! cargo run -p avfs-analyze -- race [--schedules N] [--events N] [--seed S] [--fault-rate F]
 //! cargo run -p avfs-analyze -- fleet [--seed S]
 //! cargo run -p avfs-analyze -- model [--depth N] [--max-procs N]
-//! cargo run -p avfs-analyze -- prove-policy
+//! cargo run -p avfs-analyze -- prove-policy [--measured] [--seed S]
+//! cargo run -p avfs-analyze -- check-margins [--seed S]
 //! cargo run -p avfs-analyze -- all
 //! ```
 //!
@@ -18,7 +19,7 @@
 
 use avfs_analyze::invariant::{check_all, registry};
 use avfs_analyze::jsonout::{string, string_array};
-use avfs_analyze::{fleet, lint, model, proof, race};
+use avfs_analyze::{fleet, lint, margins, model, proof, race};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
@@ -44,7 +45,10 @@ fn usage() {
          \x20 fleet [--seed S]           cluster-level conservation/safety checks\n\
          \x20 model [--depth N] [--max-procs N]\n\
          \x20                            exhaustive bounded model checking with DPOR\n\
-         \x20 prove-policy               enumerate the full voltage-policy domain\n\
+         \x20 prove-policy [--measured] [--seed S]\n\
+         \x20                            enumerate the full voltage-policy domain\n\
+         \x20                            (--measured proves campaign-compiled tables)\n\
+         \x20 check-margins [--seed S]   audit measured margin maps against ground truth\n\
          \x20 all                        every gate above, in order\n\
          \n\
          every subcommand accepts --format text|json\n\
@@ -357,8 +361,12 @@ fn run_model(format: Format, depth: usize, max_procs: usize) -> Outcome {
     }
 }
 
-fn run_prove_policy(format: Format) -> Outcome {
-    let report = proof::prove();
+fn run_prove_policy(format: Format, measured: bool, seed: u64) -> Outcome {
+    let report = if measured {
+        margins::prove_measured(seed)
+    } else {
+        proof::prove()
+    };
     if format == Format::Text {
         print!("{report}");
     }
@@ -379,8 +387,50 @@ fn run_prove_policy(format: Format) -> Outcome {
     Outcome {
         clean,
         json: format!(
-            "{{\"command\":\"prove-policy\",\"cells\":{},\"presets\":[{}],\"clean\":{clean}}}",
+            "{{\"command\":\"prove-policy\",\"measured\":{measured},\"cells\":{},\"presets\":[{}],\"clean\":{clean}}}",
             report.cells(),
+            presets_json.join(",")
+        ),
+    }
+}
+
+fn run_check_margins(format: Format, seed: u64) -> Outcome {
+    let report = margins::check(seed);
+    if format == Format::Text {
+        print!("{report}");
+    }
+    let presets_json: Vec<String> = report
+        .presets
+        .iter()
+        .map(|p| {
+            let proof_json = p.proof.as_ref().map_or_else(
+                || "null".to_string(),
+                |proof| {
+                    format!(
+                        "{{\"cells\":{},\"min_guardband_mv\":{},\"violations\":{}}}",
+                        proof.cells,
+                        proof.min_guardband_mv,
+                        string_array(&proof.violations)
+                    )
+                },
+            );
+            format!(
+                "{{\"name\":{},\"measured_cells\":{},\"probes\":{},\"discarded\":{},\"min_truth_slack_mv\":{},\"violations\":{},\"proof\":{proof_json}}}",
+                string(&p.name),
+                p.measured_cells,
+                p.probes,
+                p.discarded,
+                p.min_truth_slack_mv,
+                string_array(&p.violations)
+            )
+        })
+        .collect();
+    let clean = report.is_clean();
+    Outcome {
+        clean,
+        json: format!(
+            "{{\"command\":\"check-margins\",\"seed\":{},\"presets\":[{}],\"clean\":{clean}}}",
+            report.seed,
             presets_json.join(",")
         ),
     }
@@ -446,9 +496,24 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(Format, Outcome), String> {
             ))
         }
         "prove-policy" => {
-            let flags = parse_args(rest, &["--format"], &[])?;
+            let flags = parse_args(rest, &["--format", "--seed"], &["--measured"])?;
             let format = get_format(&flags)?;
-            Ok((format, run_prove_policy(format)))
+            Ok((
+                format,
+                run_prove_policy(
+                    format,
+                    flags.contains_key("--measured"),
+                    get_u64(&flags, "--seed", margins::DEFAULT_SEED)?,
+                ),
+            ))
+        }
+        "check-margins" => {
+            let flags = parse_args(rest, &["--format", "--seed"], &[])?;
+            let format = get_format(&flags)?;
+            Ok((
+                format,
+                run_check_margins(format, get_u64(&flags, "--seed", margins::DEFAULT_SEED)?),
+            ))
         }
         "all" => {
             let flags = parse_args(rest, &["--format"], &[])?;
@@ -460,7 +525,8 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(Format, Outcome), String> {
                 run_race(format, 96, 24, 0xFA17_0002, 0.10),
                 run_fleet(format, 0xF1EE_7001),
                 run_model(format, 6, 2),
-                run_prove_policy(format),
+                run_prove_policy(format, false, margins::DEFAULT_SEED),
+                run_check_margins(format, margins::DEFAULT_SEED),
             ];
             let clean = outcomes.iter().all(|o| o.clean);
             let parts: Vec<String> = outcomes.into_iter().map(|o| o.json).collect();

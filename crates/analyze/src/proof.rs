@@ -273,6 +273,23 @@ pub fn prove_preset_with(name: &str, chip: &Chip, chooser: Chooser<'_>) -> Prese
     }
 }
 
+/// Proves a *supplied* policy table on one preset, through the same
+/// daemon chooser the production proof uses. This is how measured
+/// tables (compiled from `avfs-characterize` margin maps) get the same
+/// exhaustive treatment as the model-derived characterization: install
+/// the table in a daemon, enumerate the full domain.
+pub fn prove_preset_with_table(
+    name: &str,
+    chip: &Chip,
+    table: avfs_core::PolicyTable,
+) -> PresetProofReport {
+    let daemon = Daemon::builder(chip).table(table).build();
+    let chooser = |fc: FreqVminClass, u: usize, t: usize, dg: bool, pess: bool| {
+        daemon.chosen_voltage(fc, u, t, dg, pess)
+    };
+    prove_preset_with(name, chip, &chooser)
+}
+
 /// Proves the production policy (the `optimal` daemon's chooser) over
 /// both presets.
 pub fn prove() -> ProofReport {

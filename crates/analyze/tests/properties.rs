@@ -139,7 +139,13 @@ proptest! {
         let cx = preset(which);
         let mut cells = raw_policy_cells(&cx);
         cells[fc][dc][bucket] = 0;
-        let hole = PolicyTable::from_raw(cells, cx.policy.nominal().as_mv(), cx.spec.pmds() as usize);
+        let hole = PolicyTable::from_raw(
+            cells,
+            cx.policy.nominal().as_mv(),
+            cx.spec.vreg_floor_mv,
+            cx.spec.pmds() as usize,
+        )
+        .expect("zero holes are legal raw cells");
         let broken = cx.with_policy(hole);
         prop_assert!(
             fired(&broken).contains(&"policy-totality"),
@@ -154,7 +160,13 @@ proptest! {
     fn policy_round_trip_stays_clean(which in 0u8..2) {
         let cx = preset(which);
         let cells = raw_policy_cells(&cx);
-        let rebuilt = PolicyTable::from_raw(cells, cx.policy.nominal().as_mv(), cx.spec.pmds() as usize);
+        let rebuilt = PolicyTable::from_raw(
+            cells,
+            cx.policy.nominal().as_mv(),
+            cx.spec.vreg_floor_mv,
+            cx.spec.pmds() as usize,
+        )
+        .expect("extracted cells are above the floor");
         let cx = cx.with_policy(rebuilt);
         prop_assert!(fired(&cx).is_empty());
     }

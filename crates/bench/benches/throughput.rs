@@ -2,7 +2,8 @@
 //!
 //! Custom harness (no criterion): measures end-to-end event throughput —
 //! simulator events/sec under the Optimal daemon, fleet epochs/sec at
-//! 4 nodes × 8 workers, and daemon replans/sec with the decision cache
+//! 4 nodes × 8 workers, characterization-campaign cells/sec on the
+//! X-Gene 2 preset, and daemon replans/sec with the decision cache
 //! on vs off — and verifies the cache is *transparent* (telemetry JSONL
 //! digests byte-identical cache-on vs cache-off on both chip presets).
 //!
@@ -107,6 +108,32 @@ fn fleet_epochs_per_sec(reps: usize) -> (f64, u64) {
     (epochs as f64 / best, epochs)
 }
 
+/// Characterization-campaign cells/sec: a full measured-margin campaign
+/// on the X-Gene 2 preset (36 cells, ~4-5k stress probes), compiled to
+/// a policy table to keep the whole pipeline on the measured path.
+/// Best wall time of `reps`.
+fn campaign_cells_per_sec(reps: usize) -> (f64, u64) {
+    use avfs_characterize::{Campaign, CampaignConfig, TableCompiler};
+    let campaign = Campaign::new(CampaignConfig::new(7));
+    let mut best = f64::MAX;
+    let mut cells = 0u64;
+    for _ in 0..reps {
+        let mut chip = presets::xgene2().build();
+        let t0 = Instant::now();
+        let map = campaign.run(&mut chip).unwrap_or_else(|e| {
+            panic!("campaign aborted on a fault-free chip: {e}");
+        });
+        let table = TableCompiler::default()
+            .compile(&map)
+            .unwrap_or_else(|e| panic!("margin map failed to compile: {e}"));
+        let wall = t0.elapsed().as_secs_f64();
+        std::hint::black_box(table);
+        cells = map.cells.len() as u64;
+        best = best.min(wall);
+    }
+    (cells as f64 / best, cells)
+}
+
 /// A realistic 32-process view for the replan-rate measurement (the
 /// same shape as the criterion `daemon/replan_32_processes` bench).
 fn full_view(chip: &Chip) -> SystemView {
@@ -186,6 +213,8 @@ struct Measured {
     sim_events_xgene3: u64,
     fleet_eps: f64,
     fleet_epochs: u64,
+    campaign_cps: f64,
+    campaign_cells: u64,
     replans_cache_on: f64,
     replans_cache_off: f64,
     cache_hits: u64,
@@ -198,6 +227,7 @@ fn measure(reps: usize) -> Measured {
     let (sim_eps_xgene2, sim_events_xgene2) = sim_events_per_sec("xgene2", reps);
     let (sim_eps_xgene3, sim_events_xgene3) = sim_events_per_sec("xgene3", reps);
     let (fleet_eps, fleet_epochs) = fleet_epochs_per_sec(reps);
+    let (campaign_cps, campaign_cells) = campaign_cells_per_sec(reps);
     let (replans_cache_on, _) = replans_per_sec(true, 20_000);
     let (replans_cache_off, _) = replans_per_sec(false, 20_000);
     let (digest_equal_xgene2, hits2, misses2) = cache_transparent("xgene2");
@@ -209,6 +239,8 @@ fn measure(reps: usize) -> Measured {
         sim_events_xgene3,
         fleet_eps,
         fleet_epochs,
+        campaign_cps,
+        campaign_cells,
         replans_cache_on,
         replans_cache_off,
         cache_hits: hits2 + hits3,
@@ -225,9 +257,10 @@ fn render_json(m: &Measured) -> String {
          \"sim_events_per_sec_xgene2\": {:.0},\n    \
          \"sim_events_per_sec_xgene3\": {:.0},\n    \
          \"fleet_epochs_per_sec_4n8w\": {:.0},\n    \
+         \"campaign_cells_per_sec_xgene2\": {:.0},\n    \
          \"daemon_replans_per_sec_cache_on\": {:.0},\n    \
          \"daemon_replans_per_sec_cache_off\": {:.0}\n  }},\n  \
-         \"events\": {{\"sim_xgene2\": {}, \"sim_xgene3\": {}, \"fleet_epochs\": {}}},\n  \
+         \"events\": {{\"sim_xgene2\": {}, \"sim_xgene3\": {}, \"fleet_epochs\": {}, \"campaign_cells\": {}}},\n  \
          \"speedup\": {{\"daemon_replan_cache\": {:.2}}},\n  \
          \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.3}}},\n  \
          \"identity\": {{\"telemetry_digest_equal_xgene2\": {}, \
@@ -235,11 +268,13 @@ fn render_json(m: &Measured) -> String {
         m.sim_eps_xgene2,
         m.sim_eps_xgene3,
         m.fleet_eps,
+        m.campaign_cps,
         m.replans_cache_on,
         m.replans_cache_off,
         m.sim_events_xgene2,
         m.sim_events_xgene3,
         m.fleet_epochs,
+        m.campaign_cells,
         m.replans_cache_on / m.replans_cache_off,
         m.cache_hits,
         m.cache_misses,
@@ -266,6 +301,7 @@ fn smoke(m: &Measured, baseline: &str) -> Result<(), String> {
         ("sim_events_per_sec_xgene2", m.sim_eps_xgene2),
         ("sim_events_per_sec_xgene3", m.sim_eps_xgene3),
         ("fleet_epochs_per_sec_4n8w", m.fleet_eps),
+        ("campaign_cells_per_sec_xgene2", m.campaign_cps),
         ("daemon_replans_per_sec_cache_on", m.replans_cache_on),
     ];
     let mut failures = Vec::new();

@@ -1,0 +1,208 @@
+//! Online recharacterization: keeping a measured table honest as the
+//! silicon drifts.
+//!
+//! A drifted chip raises its true safe Vmin, the droop guard starts
+//! engaging for sustained stretches, and the daemon-side
+//! [`RecharacterizeTrigger`] eventually fires during an idle window. The
+//! [`Recharacterizer`] then owns the rest: run a fresh campaign against
+//! the drifted chip (each run under a distinct derived seed), compile it
+//! with the standing guardband, and atomically swap the daemon's table.
+//! A campaign that aborts mid-flight leaves the old table installed and
+//! the rail restored to nominal — the daemon's safe-mode machinery keeps
+//! the chip correct while the trigger cools down and retries.
+
+use crate::campaign::{Campaign, CampaignConfig, CampaignError};
+use crate::compiler::{CompileError, GuardbandPolicy, TableCompiler};
+use avfs_chip::chip::Chip;
+use avfs_core::daemon::Daemon;
+use avfs_core::policy::PolicyError;
+use avfs_core::recharacterize::RecharacterizeTrigger;
+use avfs_telemetry::{TraceKind, Value};
+use std::fmt;
+
+/// Why a recharacterization pass failed (the old table stays installed).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RecharacterizeError {
+    /// The measurement campaign aborted.
+    Campaign(CampaignError),
+    /// The fresh map would not compile.
+    Compile(CompileError),
+    /// The daemon rejected the compiled table (shape mismatch).
+    Swap(PolicyError),
+}
+
+impl fmt::Display for RecharacterizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecharacterizeError::Campaign(e) => write!(f, "campaign aborted: {e}"),
+            RecharacterizeError::Compile(e) => write!(f, "map failed to compile: {e}"),
+            RecharacterizeError::Swap(e) => write!(f, "daemon rejected the table: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecharacterizeError {}
+
+/// The full online loop: trigger, campaign, compile, swap.
+#[derive(Debug, Clone)]
+pub struct Recharacterizer {
+    campaign: CampaignConfig,
+    guardband: GuardbandPolicy,
+    trigger: RecharacterizeTrigger,
+    runs: u64,
+}
+
+impl Recharacterizer {
+    /// Assembles the loop from its three policies.
+    pub fn new(
+        campaign: CampaignConfig,
+        guardband: GuardbandPolicy,
+        trigger: RecharacterizeTrigger,
+    ) -> Self {
+        Recharacterizer {
+            campaign,
+            guardband,
+            trigger,
+            runs: 0,
+        }
+    }
+
+    /// Feeds one closed monitor window to the trigger. Returns `true`
+    /// when a recharacterization pass should start now.
+    pub fn observe_window(&mut self, droop_guard_active: bool, idle: bool) -> bool {
+        self.trigger.observe(droop_guard_active, idle)
+    }
+
+    /// The embedded trigger, for inspection.
+    pub fn trigger(&self) -> &RecharacterizeTrigger {
+        &self.trigger
+    }
+
+    /// Completed (successful) recharacterization passes.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Runs one full pass: campaign on the (possibly drifted) chip,
+    /// compile, and atomic table swap into the daemon. Each pass derives
+    /// a fresh campaign seed (`seed + runs`) so a retry after an abort
+    /// does not replay the aborted probe sequence. Traced as a
+    /// [`TraceKind::Recharacterization`], success or not.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecharacterizeError`]; on any error the daemon's
+    /// current table is left untouched.
+    pub fn recharacterize(
+        &mut self,
+        chip: &mut Chip,
+        daemon: &mut Daemon,
+    ) -> Result<(), RecharacterizeError> {
+        let telemetry = chip.telemetry().clone();
+        let config = CampaignConfig {
+            seed: self.campaign.seed.wrapping_add(self.runs),
+            ..self.campaign
+        };
+        let result = Campaign::new(config)
+            .run(chip)
+            .map_err(RecharacterizeError::Campaign)
+            .and_then(|map| {
+                TableCompiler::new(self.guardband)
+                    .compile(&map)
+                    .map_err(RecharacterizeError::Compile)
+            })
+            .and_then(|table| daemon.swap_table(table).map_err(RecharacterizeError::Swap));
+        let ok = result.is_ok();
+        if ok {
+            self.runs += 1;
+        }
+        telemetry.counter_inc("characterize.recharacterizations");
+        telemetry.trace(TraceKind::Recharacterization, || {
+            vec![
+                ("seed", Value::U64(config.seed)),
+                ("ok", Value::Bool(ok)),
+                ("completed_runs", Value::U64(self.runs)),
+            ]
+        });
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avfs_chip::presets;
+    use avfs_chip::vmin::VminDrift;
+
+    fn daemon_for(chip: &Chip) -> Daemon {
+        Daemon::builder(chip).build()
+    }
+
+    #[test]
+    fn a_pass_swaps_in_a_table_proven_against_the_drifted_chip() {
+        let mut chip = presets::xgene2().build();
+        let mut daemon = daemon_for(&chip);
+        let stale_static = daemon
+            .policy_table()
+            .static_safe_voltage(avfs_chip::freq::FreqVminClass::Max);
+        chip.apply_vmin_drift(VminDrift::aging(15));
+        let mut r = Recharacterizer::new(
+            CampaignConfig::new(7),
+            GuardbandPolicy::default(),
+            RecharacterizeTrigger::new(3, 8),
+        );
+        r.recharacterize(&mut chip, &mut daemon)
+            .expect("clean pass");
+        assert_eq!(r.runs(), 1);
+        let fresh_static = daemon
+            .policy_table()
+            .static_safe_voltage(avfs_chip::freq::FreqVminClass::Max);
+        // The fresh table absorbed the 15 mV drift.
+        assert!(
+            fresh_static > stale_static,
+            "fresh {fresh_static} vs stale {stale_static}"
+        );
+        assert_eq!(chip.voltage(), chip.nominal_voltage());
+    }
+
+    #[test]
+    fn aborted_pass_leaves_the_old_table_installed() {
+        use avfs_chip::fault::{FaultPlan, FaultRates};
+        let mut chip = presets::xgene2().build();
+        let mut daemon = daemon_for(&chip);
+        let before = daemon.policy_table().clone();
+        chip.set_fault_plan(Some(FaultPlan::new(
+            1,
+            FaultRates {
+                mailbox: 1.0,
+                ..FaultRates::ZERO
+            },
+        )));
+        let mut r = Recharacterizer::new(
+            CampaignConfig::new(7),
+            GuardbandPolicy::default(),
+            RecharacterizeTrigger::new(3, 8),
+        );
+        let err = r
+            .recharacterize(&mut chip, &mut daemon)
+            .expect_err("dead mailbox");
+        assert!(matches!(err, RecharacterizeError::Campaign(_)));
+        assert_eq!(r.runs(), 0);
+        assert_eq!(daemon.policy_table(), &before);
+    }
+
+    #[test]
+    fn retries_derive_fresh_seeds() {
+        let mut chip = presets::xgene2().build();
+        let mut daemon = daemon_for(&chip);
+        let mut r = Recharacterizer::new(
+            CampaignConfig::new(100),
+            GuardbandPolicy::default(),
+            RecharacterizeTrigger::new(1, 0),
+        );
+        r.recharacterize(&mut chip, &mut daemon).expect("first");
+        r.recharacterize(&mut chip, &mut daemon).expect("second");
+        assert_eq!(r.runs(), 2);
+    }
+}

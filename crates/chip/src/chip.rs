@@ -8,15 +8,16 @@
 
 use crate::droop::DroopModel;
 use crate::error::ChipError;
-use crate::failure::FailureModel;
+use crate::failure::{FailureModel, RunOutcome};
 use crate::fault::{FaultPlan, FaultStats, MailboxFault};
 use crate::freq::{CppcBehavior, FreqStep, FreqVminClass, FrequencyMhz};
 use crate::pmu::ChipPmu;
 use crate::power::{PowerInputs, PowerModel};
 use crate::slimpro::{MailboxRequest, MailboxResponse, MailboxStats};
 use crate::topology::{ChipSpec, CoreSet, PmdId};
-use crate::vmin::{VminModel, VminQuery};
+use crate::vmin::{VminDrift, VminModel, VminQuery};
 use crate::voltage::{Millivolts, VoltageRail};
+use avfs_sim::RngStream;
 use avfs_telemetry::{Telemetry, TraceKind, Value};
 
 /// A fully assembled chip instance.
@@ -392,6 +393,51 @@ impl Chip {
         self.last_sensor_mw = (w * 1_000.0).round() as u64;
         w
     }
+
+    /// Applies a scripted aging/temperature [`VminDrift`]: the chip's
+    /// *true* safe-Vmin surface shifts uniformly, so any policy table
+    /// characterized before the event is now stale. Traced as a
+    /// [`TraceKind::DriftEvent`].
+    pub fn apply_vmin_drift(&mut self, drift: VminDrift) {
+        self.vmin = self.vmin.with_drift(drift);
+        self.telemetry.counter_inc("chip.vmin.drift_events");
+        self.telemetry.trace(TraceKind::DriftEvent, || {
+            vec![
+                ("base_shift_mv", Value::I64(i64::from(drift.base_shift_mv))),
+                (
+                    "pmd_offset_shift_mv",
+                    Value::I64(i64::from(drift.pmd_offset_shift_mv)),
+                ),
+            ]
+        });
+    }
+
+    /// Runs one characterization stress probe at the *current* rail
+    /// voltage: the outcome a real campaign would observe when pinning
+    /// the queried stress pattern to `pmds` and letting it run.
+    ///
+    /// The chip's Vmin model stays hidden ground truth — the caller only
+    /// sees a sampled [`RunOutcome`], which is failure-free at or above
+    /// the true safe Vmin and increasingly crash-prone below it. An
+    /// active injected droop excursion raises the effective safe Vmin
+    /// exactly as it does for [`Chip::current_safe_vmin`], so probes
+    /// taken during an excursion are biased pessimistic (campaigns must
+    /// detect and discard them).
+    pub fn probe_stress(
+        &mut self,
+        q: &VminQuery,
+        pmds: &[PmdId],
+        rng: &mut RngStream,
+    ) -> RunOutcome {
+        let truth = self.vmin.safe_vmin_on(q, pmds);
+        let effective = match &self.fault {
+            Some(plan) => plan.effective_vmin(truth, self.rail.nominal()),
+            None => truth,
+        };
+        let class = self.vmin.droop_class(q.utilized_pmds);
+        self.failure
+            .sample_outcome(self.rail.current(), effective, class, rng)
+    }
 }
 
 /// Stable label for a mailbox request, used in trace events.
@@ -615,6 +661,42 @@ mod tests {
         assert_eq!(
             armed.current_safe_vmin(CoreSet::first_n(8)),
             plain.current_safe_vmin(CoreSet::first_n(8))
+        );
+    }
+
+    #[test]
+    fn drift_raises_the_true_safe_vmin() {
+        let mut chip = presets::xgene3().build();
+        let busy = CoreSet::first_n(8);
+        let before = chip.current_safe_vmin(busy);
+        chip.apply_vmin_drift(VminDrift::aging(15));
+        assert_eq!(chip.current_safe_vmin(busy) - before, 15);
+    }
+
+    #[test]
+    fn probes_above_the_true_vmin_never_fail_and_deep_probes_do() {
+        let mut chip = presets::xgene2().build();
+        let q = VminQuery {
+            freq_class: FreqVminClass::Max,
+            utilized_pmds: 2,
+            active_threads: 4,
+            workload_sensitivity: 1.0,
+        };
+        let pmds = [PmdId::new(0), PmdId::new(1)];
+        let truth = chip.vmin_model().safe_vmin_on(&q, &pmds);
+        let crash = chip.vmin_model().crash_point(truth);
+        let mut rng = avfs_sim::RngStream::from_root(7, "probe-test");
+        chip.set_voltage(truth).unwrap();
+        for _ in 0..200 {
+            assert_eq!(chip.probe_stress(&q, &pmds, &mut rng), RunOutcome::Correct);
+        }
+        chip.set_voltage(crash).unwrap();
+        let failures = (0..200)
+            .filter(|_| chip.probe_stress(&q, &pmds, &mut rng).is_failure())
+            .count();
+        assert!(
+            failures > 150,
+            "only {failures}/200 failed at the crash point"
         );
     }
 

@@ -303,6 +303,7 @@ impl Daemon {
             },
             chip,
             telemetry: Telemetry::null(),
+            table: None,
         }
     }
 
@@ -541,6 +542,42 @@ impl Daemon {
     pub fn set_mem_step(&mut self, step: FreqStep) {
         self.config.mem_step = step;
         self.cache.clear();
+    }
+
+    /// The policy table currently driving voltage decisions.
+    pub fn policy_table(&self) -> &PolicyTable {
+        &self.table
+    }
+
+    /// Atomically replaces the policy table (the recharacterization swap
+    /// seam): all memoized decisions are dropped so the very next replan
+    /// reads the new table, and the swap is traced as a
+    /// [`TraceKind::TableSwap`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::PmdCountMismatch`] when the table was
+    /// characterized for a different chip shape; the old table stays in
+    /// place.
+    pub fn swap_table(&mut self, table: PolicyTable) -> Result<(), crate::policy::PolicyError> {
+        let chip_pmds = self.spec.pmds() as usize;
+        if table.pmds() != chip_pmds {
+            return Err(crate::policy::PolicyError::PmdCountMismatch {
+                table_pmds: table.pmds(),
+                chip_pmds,
+            });
+        }
+        let static_max_mv = table.static_safe_voltage(FreqVminClass::Max).as_mv();
+        self.table = table;
+        self.cache.clear();
+        self.telemetry.counter_inc("daemon.table_swaps");
+        self.telemetry.trace(TraceKind::TableSwap, || {
+            vec![
+                ("pmds", Value::from(chip_pmds as u64)),
+                ("static_max_mv", Value::from(u64::from(static_max_mv))),
+            ]
+        });
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -1069,6 +1106,7 @@ pub struct DaemonBuilder<'c> {
     chip: &'c Chip,
     config: DaemonConfig,
     telemetry: Telemetry,
+    table: Option<PolicyTable>,
 }
 
 impl DaemonBuilder<'_> {
@@ -1087,9 +1125,33 @@ impl DaemonBuilder<'_> {
         self
     }
 
+    /// Drives voltage from a supplied policy table — typically one
+    /// compiled from a measured margin map by `avfs-characterize` —
+    /// instead of the model-derived characterization default.
+    ///
+    /// # Panics
+    ///
+    /// `build` panics if the table's PMD count disagrees with the chip's.
+    #[must_use]
+    pub fn table(mut self, table: PolicyTable) -> Self {
+        self.table = Some(table);
+        self
+    }
+
     /// Builds the daemon.
     pub fn build(self) -> Daemon {
-        Daemon::construct(self.chip, self.config, self.telemetry)
+        let mut daemon = Daemon::construct(self.chip, self.config, self.telemetry);
+        if let Some(table) = self.table {
+            assert_eq!(
+                table.pmds(),
+                daemon.spec.pmds() as usize,
+                "policy table / chip PMD count mismatch"
+            );
+            // Direct install, not `swap_table`: nothing ran yet, so a
+            // construction-time table is not a traced swap event.
+            daemon.table = table;
+        }
+        daemon
     }
 }
 
@@ -1233,6 +1295,47 @@ mod tests {
         ids.iter()
             .map(|&i| avfs_chip::topology::CoreId::new(i))
             .collect()
+    }
+
+    #[test]
+    fn swap_table_takes_effect_immediately_and_checks_shape() {
+        let chip = xg3_chip();
+        let mut d = Daemon::optimal(&chip);
+        let _ = d.on_event(&mk_view(&chip, vec![]), &SysEvent::MonitorTick);
+        let before = d.chosen_voltage(FreqVminClass::Max, 16, 32, false, false);
+        // A table measured on a drifted (+15 mV) chip chooses more volts.
+        let drifted = chip
+            .vmin_model()
+            .with_drift(avfs_chip::vmin::VminDrift::aging(15));
+        let table = PolicyTable::from_characterization(&drifted);
+        d.swap_table(table).expect("matching shape");
+        let after = d.chosen_voltage(FreqVminClass::Max, 16, 32, false, false);
+        assert_eq!(after - before, 15);
+        // A table for the wrong chip shape is refused, old table intact.
+        let xg2 = presets::xgene2().build();
+        let wrong = PolicyTable::from_characterization(xg2.vmin_model());
+        assert_eq!(
+            d.swap_table(wrong),
+            Err(crate::policy::PolicyError::PmdCountMismatch {
+                table_pmds: 4,
+                chip_pmds: 16,
+            })
+        );
+        assert_eq!(
+            d.chosen_voltage(FreqVminClass::Max, 16, 32, false, false),
+            after
+        );
+    }
+
+    #[test]
+    fn builder_installs_a_supplied_table() {
+        let chip = xg3_chip();
+        let drifted = chip
+            .vmin_model()
+            .with_drift(avfs_chip::vmin::VminDrift::aging(10));
+        let table = PolicyTable::from_characterization(&drifted);
+        let d = Daemon::builder(&chip).table(table.clone()).build();
+        assert_eq!(d.policy_table(), &table);
     }
 
     #[test]

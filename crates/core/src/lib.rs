@@ -56,10 +56,11 @@ pub mod daemon;
 pub mod edp;
 pub mod monitor;
 pub mod policy;
+pub mod recharacterize;
 pub mod recovery;
 pub mod service;
 
 pub use configs::EvalConfig;
 pub use daemon::{Daemon, DaemonConfig};
-pub use policy::PolicyTable;
+pub use policy::{PolicyError, PolicyTable};
 pub use recovery::{Recovery, RecoveryConfig, RecoveryState};

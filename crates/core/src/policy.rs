@@ -14,6 +14,66 @@ use avfs_chip::freq::FreqVminClass;
 use avfs_chip::vmin::{DroopClass, VminModel, VminQuery};
 use avfs_chip::voltage::Millivolts;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Typed rejection from [`PolicyTable::from_raw`]: the raw cells would
+/// build a table the regulator can never honour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PolicyError {
+    /// A populated cell sits below the chip's absolute regulator floor —
+    /// the daemon would request a voltage the rail refuses, so the table
+    /// is rejected at construction instead of at `prove-policy` time.
+    CellBelowFloor {
+        /// Frequency-class row index (0 = Divided, 1 = Reduced, 2 = Max).
+        freq_row: usize,
+        /// Droop-class column index (`DroopClass::index()`).
+        droop_index: usize,
+        /// Thread-bucket index (`0..PolicyTable::THREAD_BUCKETS`).
+        bucket: usize,
+        /// The offending cell value.
+        cell_mv: u32,
+        /// The regulator floor the cell violates.
+        floor_mv: u32,
+    },
+    /// A table characterized for a different chip shape was offered to a
+    /// daemon: the PMD counts disagree, so every droop-class lookup
+    /// would misclassify.
+    PmdCountMismatch {
+        /// PMDs the table was characterized for.
+        table_pmds: usize,
+        /// PMDs on the chip the daemon controls.
+        chip_pmds: usize,
+    },
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            PolicyError::CellBelowFloor {
+                freq_row,
+                droop_index,
+                bucket,
+                cell_mv,
+                floor_mv,
+            } => write!(
+                f,
+                "policy cell [fc {freq_row}][dc {droop_index}][bucket {bucket}] = \
+                 {cell_mv} mV is below the regulator floor {floor_mv} mV"
+            ),
+            PolicyError::PmdCountMismatch {
+                table_pmds,
+                chip_pmds,
+            } => write!(
+                f,
+                "policy table characterized for {table_pmds} PMDs offered to a \
+                 {chip_pmds}-PMD chip"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
 
 /// Characterized safe-Vmin lookup for one chip.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -135,16 +195,48 @@ impl PolicyTable {
 
     /// Builds a table from raw cell values, bypassing characterization.
     ///
-    /// Exists for the `avfs-analyze` invariant checker and its property
-    /// tests, which need to construct deliberately broken tables (holes,
-    /// inversions) and prove the checker flags them; production tables
-    /// should come from [`PolicyTable::from_characterization`].
-    pub fn from_raw(vmin_mv: [[[u32; 4]; 4]; 3], nominal_mv: u32, pmds: usize) -> Self {
-        PolicyTable {
+    /// Exists for the `avfs-characterize` table compiler (measured
+    /// margin maps) and for the `avfs-analyze` invariant checker and its
+    /// property tests, which construct deliberately broken tables
+    /// (holes, inversions) and prove the checker flags them.
+    ///
+    /// Every populated cell is validated against `floor_mv`, the chip's
+    /// absolute regulator floor: a non-zero cell below the floor is a
+    /// table the rail can never honour and is rejected with
+    /// [`PolicyError::CellBelowFloor`]. Zero cells stay legal — they are
+    /// the "uncharacterized hole" sentinel the invariant checker exists
+    /// to flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::CellBelowFloor`] for the first non-zero
+    /// cell strictly below `floor_mv`.
+    pub fn from_raw(
+        vmin_mv: [[[u32; 4]; 4]; 3],
+        nominal_mv: u32,
+        floor_mv: u32,
+        pmds: usize,
+    ) -> Result<Self, PolicyError> {
+        for (freq_row, per_droop) in vmin_mv.iter().enumerate() {
+            for (droop_index, per_bucket) in per_droop.iter().enumerate() {
+                for (bucket, &cell_mv) in per_bucket.iter().enumerate() {
+                    if cell_mv != 0 && cell_mv < floor_mv {
+                        return Err(PolicyError::CellBelowFloor {
+                            freq_row,
+                            droop_index,
+                            bucket,
+                            cell_mv,
+                            floor_mv,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(PolicyTable {
             vmin_mv,
             nominal_mv,
             pmds,
-        }
+        })
     }
 
     /// Number of thread buckets per (frequency class, droop class) cell.
@@ -387,6 +479,68 @@ mod tests {
                 "utilized={utilized}"
             );
         }
+    }
+
+    #[test]
+    fn from_raw_rejects_cells_below_the_floor() {
+        let chip = presets::xgene2().build();
+        let good = xg2_table();
+        let spec = chip.spec();
+        let mut cells = [[[0u32; 4]; 4]; 3];
+        for (fi, fc) in [
+            FreqVminClass::Divided,
+            FreqVminClass::Reduced,
+            FreqVminClass::Max,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            for dc in DroopClass::ALL {
+                #[allow(clippy::needless_range_loop)]
+                for bucket in 0..PolicyTable::THREAD_BUCKETS {
+                    cells[fi][dc.index()][bucket] = good.cell(fc, dc, bucket);
+                }
+            }
+        }
+        // The clean copy round-trips.
+        let rebuilt = PolicyTable::from_raw(
+            cells,
+            spec.nominal_mv,
+            spec.vreg_floor_mv,
+            spec.pmds() as usize,
+        )
+        .expect("clean table");
+        assert_eq!(rebuilt, good);
+        // A sub-floor cell is a typed error naming the coordinates.
+        let mut bad = cells;
+        bad[2][1][0] = spec.vreg_floor_mv - 1;
+        let err = PolicyTable::from_raw(
+            bad,
+            spec.nominal_mv,
+            spec.vreg_floor_mv,
+            spec.pmds() as usize,
+        )
+        .expect_err("sub-floor cell");
+        assert_eq!(
+            err,
+            PolicyError::CellBelowFloor {
+                freq_row: 2,
+                droop_index: 1,
+                bucket: 0,
+                cell_mv: spec.vreg_floor_mv - 1,
+                floor_mv: spec.vreg_floor_mv,
+            }
+        );
+        // A zeroed hole stays constructible — the invariant checker's job.
+        let mut hole = cells;
+        hole[0][0][0] = 0;
+        PolicyTable::from_raw(
+            hole,
+            spec.nominal_mv,
+            spec.vreg_floor_mv,
+            spec.pmds() as usize,
+        )
+        .expect("holes are legal");
     }
 
     #[test]

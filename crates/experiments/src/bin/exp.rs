@@ -11,13 +11,13 @@
 //!
 //! Artifact ids: `table1 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //! fig11 fig12 fig14 fig15 table3 table4 ablations resilience fleet
-//! fleet-resilience`.
+//! fleet-resilience characterize`.
 //!
 //! `all` intentionally excludes the slow ids — `ablations`,
-//! `resilience`, `fleet`, and `fleet-resilience` — which run long sweeps
-//! or whole-cluster simulations; request those explicitly. Unknown ids
-//! are rejected before anything runs, with a nonzero exit and the
-//! closest matches.
+//! `resilience`, `fleet`, `fleet-resilience`, and `characterize` —
+//! which run long sweeps, whole-cluster simulations, or measurement
+//! campaigns; request those explicitly. Unknown ids are rejected before
+//! anything runs, with a nonzero exit and the closest matches.
 //!
 //! `--smoke` implies `--quick` and trims the resilience sweep to its
 //! rate-0 anchor plus the 5% acceptance point on one machine; the
@@ -25,7 +25,11 @@
 //! (all jobs drained, safe end state, strictly positive savings). The
 //! fleet id likewise exits nonzero when a policy run breaks job
 //! conservation, operates unsafely, loses to round-robin on energy, or
-//! diverges across worker counts.
+//! diverges across worker counts. The characterize id trims to one
+//! machine under `--smoke` and exits nonzero unless measured tables
+//! reclaim strictly more undervolt depth than the conservative preset
+//! while covering the hidden ground truth, and the drift drill swaps in
+//! a re-proven table with zero unsafe windows.
 //!
 //! `--trace FILE` attaches a telemetry hub to the experiments that
 //! support it (`table3`, `table4`, `fig14`, `fig15`, `resilience`,
@@ -40,8 +44,8 @@
 use avfs_chip::vmin::DroopClass;
 use avfs_experiments::report::Table;
 use avfs_experiments::{
-    ablations, characterization, droops, energy, factors, fleet, fleet_resilience, perfchar,
-    resilience, server_eval, tables, telemetry_report, Machine, Scale,
+    ablations, characterization, characterize, droops, energy, factors, fleet, fleet_resilience,
+    perfchar, resilience, server_eval, tables, telemetry_report, Machine, Scale,
 };
 use avfs_telemetry::Telemetry;
 use std::path::PathBuf;
@@ -63,7 +67,13 @@ const ALL_IDS: [&str; 16] = [
 
 /// Ids `all` deliberately leaves out: long sweeps and whole-cluster
 /// simulations that would dominate an `exp all` run.
-const SLOW_IDS: [&str; 4] = ["ablations", "resilience", "fleet", "fleet-resilience"];
+const SLOW_IDS: [&str; 5] = [
+    "ablations",
+    "resilience",
+    "fleet",
+    "fleet-resilience",
+    "characterize",
+];
 
 /// Levenshtein distance, for `did you mean` suggestions on unknown ids.
 fn edit_distance(a: &str, b: &str) -> usize {
@@ -343,6 +353,21 @@ fn run_id(id: &str, opts: &Options) -> Result<Vec<Table>, String> {
                 fleet_resilience::drill_table(&results),
                 fleet_resilience::identity_table(&results),
             ]
+        }
+        "characterize" => {
+            let machines: &[Machine] = if opts.smoke {
+                &[Machine::XGene2]
+            } else {
+                &Machine::BOTH
+            };
+            let results = characterize::evaluate(machines, seed)?;
+            results
+                .validate()
+                .map_err(|e| format!("characterize acceptance failed: {e}"))?;
+            let mut out = vec![characterize::reclaim_table(&results)];
+            out.extend(results.drills.iter().map(characterize::drill_table));
+            out.extend(results.curves.iter().map(characterize::curve_table));
+            out
         }
         "ablations" => {
             let mut out = Vec::new();

@@ -13,6 +13,7 @@
 //! | [`energy`] | Fig. 7 (clustered vs spreaded energy), Fig. 11 (energy), Fig. 12 (ED2P) |
 //! | [`server_eval`] | Fig. 14 (power trace), Fig. 15 (load trace), Tables III/IV (four configurations) |
 //! | [`ablations`] | beyond-paper sweeps: fail-safe off, classification threshold, guardband width, migration cost |
+//! | [`characterize`] | beyond-paper measured-margin campaigns: reclaimed savings vs a conservative preset, mid-run drift drill, stale-table degradation curve |
 //! | [`resilience`] | beyond-paper fault-injection sweep: savings-vs-fault-rate degradation curve and recovery counters |
 //! | [`fleet_resilience`] | beyond-paper cluster fault tolerance: node-failure degradation curve, crash drill, bit-identity gates |
 //! | [`telemetry_report`] | beyond-paper: `--trace` journal and metrics rendered as summary tables |
@@ -23,6 +24,7 @@
 
 pub mod ablations;
 pub mod characterization;
+pub mod characterize;
 pub mod droops;
 pub mod energy;
 pub mod factors;

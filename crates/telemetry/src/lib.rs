@@ -187,6 +187,14 @@ pub enum TraceKind {
     /// A job drained from a failed node was re-dispatched (or exhausted
     /// its retry budget).
     JobRedispatch,
+    /// A characterization campaign accepted one measured margin-map cell.
+    CampaignCell,
+    /// A scripted aging/temperature drift shifted the chip's true Vmin.
+    DriftEvent,
+    /// The daemon atomically swapped in a recompiled policy table.
+    TableSwap,
+    /// An online recharacterization pass started or finished.
+    Recharacterization,
 }
 
 impl TraceKind {
@@ -209,6 +217,10 @@ impl TraceKind {
             TraceKind::NodeRecovered => "node_recovered",
             TraceKind::NodeDegraded => "node_degraded",
             TraceKind::JobRedispatch => "job_redispatch",
+            TraceKind::CampaignCell => "campaign_cell",
+            TraceKind::DriftEvent => "drift_event",
+            TraceKind::TableSwap => "table_swap",
+            TraceKind::Recharacterization => "recharacterization",
         }
     }
 }

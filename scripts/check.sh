@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full local gate: formatting, clippy, the avfs-analyze checks (domain
 # invariants, source lints, bounded model checking, the policy-domain
-# proof, race exploration), and the test suite.
+# proof, the measured-margin audit, race exploration), and the test
+# suite.
 # Mirrors what CI would run; exits nonzero on the first failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -16,7 +17,7 @@ echo "==> cargo clippy"
 # avfs-analyze lint ratchet below is their enforcement point.
 cargo clippy -q --all-targets \
   -p avfs-sim -p avfs-chip -p avfs-workloads -p avfs-sched \
-  -p avfs-core -p avfs-telemetry -p avfs-fleet \
+  -p avfs-core -p avfs-telemetry -p avfs-fleet -p avfs-characterize \
   -p avfs-experiments -p avfs-bench -p avfs-analyze \
   -- -D warnings \
   -A clippy::unwrap_used -A clippy::expect_used \
@@ -33,6 +34,9 @@ cargo run -q --release -p avfs-analyze -- model --depth 6
 
 echo "==> avfs-analyze prove-policy (exhaustive policy-domain proof)"
 cargo run -q --release -p avfs-analyze -- prove-policy
+
+echo "==> avfs-analyze check-margins (measured tables vs hidden ground truth + full-domain proof)"
+cargo run -q --release -p avfs-analyze -- check-margins
 
 echo "==> avfs-analyze race (160 schedules, fault-free)"
 cargo run -q -p avfs-analyze -- race --schedules 160
@@ -54,6 +58,9 @@ cargo run -q --release -p avfs-experiments --bin exp -- fleet --smoke > /dev/nul
 
 echo "==> fleet-resilience smoke (node failures: rate-0 bit-identity, crash drill, exactly-once)"
 cargo run -q --release -p avfs-experiments --bin exp -- fleet-resilience --smoke > /dev/null
+
+echo "==> characterize smoke (measured-margin reclaim, drift drill, degradation curve)"
+cargo run -q --release -p avfs-experiments --bin exp -- characterize --smoke > /dev/null
 
 echo "==> trace determinism (byte-identical journals across identical seeded runs)"
 trace_dir="$(mktemp -d)"
