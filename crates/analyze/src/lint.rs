@@ -25,7 +25,13 @@
 //! * `#[allow(deprecated)]` — library code must migrate to the builder
 //!   construction path, not suppress the deprecation of the legacy
 //!   constructors (the equivalence tests that *prove* the builders
-//!   match the legacy paths live under `tests/`, which is exempt).
+//!   match the legacy paths live under `tests/`, which is exempt);
+//! * `Vec::new()` / `BinaryHeap::new()` in hot-path modules (the sim
+//!   event queue, the sched step loop, the core daemon and monitor) —
+//!   the steady-state event loop is allocation-free by contract
+//!   (enforced end-to-end by the counting-allocator bench gate), so new
+//!   containers in those modules must come from the
+//!   `PlanScratch`/`LayoutScratch` recycled-buffer pattern.
 //!
 //! Existing occurrences are frozen in `crates/analyze/lint-allowlist.txt`
 //! (a ratchet: counts may only go down); anything above the allowlisted
@@ -201,6 +207,27 @@ fn is_determinism_sensitive_path(path: &str) -> bool {
     .any(|kw| lower.contains(kw))
 }
 
+/// Hot-path modules where steady-state allocation is banned: the sim
+/// event queue, the sched step loop, and the core daemon/monitor. The
+/// counting-allocator bench gate proves the composed loop allocates
+/// nothing; this lint keeps fresh `Vec::new()`/`BinaryHeap::new()`
+/// sites from creeping back in between bench runs.
+fn is_hot_path(path: &str) -> bool {
+    [
+        "crates/sim/src/events.rs",
+        "crates/sched/src/system.rs",
+        "crates/core/src/daemon.rs",
+        "crates/core/src/monitor.rs",
+    ]
+    .iter()
+    .any(|p| path.ends_with(p))
+}
+
+/// Flags fresh container construction in hot-path modules.
+fn hot_path_alloc_matcher(line: &str) -> usize {
+    count_occurrences(line, "Vec::new(") + count_occurrences(line, "BinaryHeap::new(")
+}
+
 /// The rule set, in report order.
 pub fn rules() -> Vec<Rule> {
     vec![
@@ -257,6 +284,12 @@ pub fn rules() -> Vec<Rule> {
             rationale: "suppressing a deprecation instead of migrating to the builder",
             matcher: |line| count_occurrences(line, "allow(deprecated"),
             path_filter: None,
+        },
+        Rule {
+            name: "hot-path-alloc",
+            rationale: "fresh container construction in an allocation-free hot-path module",
+            matcher: hot_path_alloc_matcher,
+            path_filter: Some(is_hot_path),
         },
     ]
 }
@@ -581,6 +614,31 @@ mod tests {
         assert!(sensitive.iter().all(|f| f.rule == "hash-order"));
         // The same source outside a determinism-sensitive path is fine.
         assert!(scan_source(&rules(), "crates/core/src/daemon.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_fires_only_in_hot_path_modules() {
+        let src =
+            "fn f() {\n    let v: Vec<u32> = Vec::new();\n    let h = BinaryHeap::new();\n}\n";
+        for hot in [
+            "crates/sim/src/events.rs",
+            "crates/sched/src/system.rs",
+            "crates/core/src/daemon.rs",
+            "crates/core/src/monitor.rs",
+        ] {
+            let findings = scan_source(&rules(), hot, src);
+            assert_eq!(findings.len(), 2, "{hot}: {findings:?}");
+            assert!(findings.iter().all(|f| f.rule == "hot-path-alloc"));
+        }
+        // Cold modules may build fresh containers freely.
+        assert!(scan_source(&rules(), "crates/chip/src/power.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_exempts_test_modules_and_with_capacity() {
+        let src = "fn f() { let v = Vec::with_capacity(8); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn g() { let q: Vec<u8> = Vec::new(); }\n}\n";
+        assert!(scan_source(&rules(), "crates/sim/src/events.rs", src).is_empty());
     }
 
     #[test]

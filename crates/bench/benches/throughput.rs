@@ -1,20 +1,24 @@
-//! Event-throughput benches with a persistent baseline (`BENCH_8.json`).
+//! Event-throughput benches with a persistent baseline (`BENCH_9.json`).
 //!
 //! Custom harness (no criterion): measures end-to-end event throughput —
 //! simulator events/sec under the Optimal daemon, fleet epochs/sec at
 //! 4 nodes × 8 workers, characterization-campaign cells/sec on the
 //! X-Gene 2 preset, and daemon replans/sec with the decision cache
-//! on vs off — and verifies the cache is *transparent* (telemetry JSONL
-//! digests byte-identical cache-on vs cache-off on both chip presets).
+//! on vs off — plus per-component microbenches (calendar-queue ops/sec,
+//! power-LUT evaluations/sec) so a regression localizes to the layer
+//! that caused it, and verifies the cache is *transparent* (telemetry
+//! JSONL digests byte-identical cache-on vs cache-off on both presets).
 //!
 //! Modes:
 //!
 //! * default — measure and print the JSON report to stdout;
-//! * `--write` — also persist the report to `BENCH_8.json` at the repo
+//! * `--write` — also persist the report to `BENCH_9.json` at the repo
 //!   root (the committed baseline the smoke gate compares against);
 //! * `--smoke` — quick re-measure, compared against the committed
-//!   `BENCH_8.json`; exits non-zero if any throughput metric regressed
-//!   by more than 20%.
+//!   `BENCH_9.json`; exits non-zero if any throughput metric regressed
+//!   by more than 20%;
+//! * `--compare <baseline.json>` — A/B mode: measure, then print a
+//!   per-metric delta table against the given baseline file (no gate).
 
 use avfs_chip::presets::{self};
 use avfs_chip::topology::{CoreId, CoreSet};
@@ -134,6 +138,80 @@ fn campaign_cells_per_sec(reps: usize) -> (f64, u64) {
     (cells as f64 / best, cells)
 }
 
+/// Calendar-queue ops/sec: a hold-model churn (schedule one, pop one)
+/// over a standing population, with deterministic pseudo-random
+/// horizons spanning ties, in-wheel buckets, and the overflow level.
+fn queue_ops_per_sec(reps: usize) -> f64 {
+    use avfs_sim::EventQueue;
+    const POPULATION: u64 = 1_024;
+    const CHURN: u64 = 1_000_000;
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let mut q = EventQueue::new();
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        let mut horizon = |now: u64| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // 0..128 ms ahead: ties (coarse grain), buckets, overflow.
+            now + (x >> 33) % 128_000_000
+        };
+        let mut now = 0u64;
+        for i in 0..POPULATION {
+            q.schedule(SimTime::from_nanos(horizon(now)), i);
+        }
+        let t0 = Instant::now();
+        for i in 0..CHURN {
+            q.schedule(SimTime::from_nanos(horizon(now)), i);
+            let e = q.pop().expect("standing population");
+            now = now.max(e.time.as_nanos());
+            std::hint::black_box(e.seq);
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (2 * CHURN) as f64 / best
+}
+
+/// Power-LUT evaluations/sec: table-path `power_w` over a rotating set
+/// of in-domain operating points on the X-Gene 2 preset.
+fn power_lut_evals_per_sec(reps: usize) -> f64 {
+    use avfs_chip::power::{PmdLoad, PowerInputs};
+    use avfs_chip::voltage::Millivolts;
+    const EVALS: u64 = 1_000_000;
+    let chip = presets::xgene2().build();
+    let spec = chip.spec().clone();
+    let lut = chip.power_lut();
+    let step_mhz: Vec<u32> = FreqStep::all()
+        .map(|s| s.frequency(spec.fmax()).as_mhz())
+        .collect();
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let mut inputs = PowerInputs {
+            voltage: Millivolts::new(spec.nominal_mv),
+            pmd_loads: vec![PmdLoad::IDLE; spec.pmds() as usize],
+            mem_traffic: 0.4,
+        };
+        let t0 = Instant::now();
+        let mut acc = 0.0f64;
+        for i in 0..EVALS {
+            let i = i as usize;
+            let mv = spec.vreg_floor_mv + (i % 64) as u32 * 5;
+            inputs.voltage = Millivolts::new(mv.min(spec.nominal_mv));
+            for (p, load) in inputs.pmd_loads.iter_mut().enumerate() {
+                *load = PmdLoad {
+                    freq_mhz: step_mhz[(i + p) % step_mhz.len()],
+                    active_cores: ((i + p) % (spec.cores_per_pmd as usize + 1)) as u8,
+                    activity: 0.75,
+                };
+            }
+            acc += lut.power_w(&inputs);
+        }
+        std::hint::black_box(acc);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    EVALS as f64 / best
+}
+
 /// A realistic 32-process view for the replan-rate measurement (the
 /// same shape as the criterion `daemon/replan_32_processes` bench).
 fn full_view(chip: &Chip) -> SystemView {
@@ -217,6 +295,8 @@ struct Measured {
     campaign_cells: u64,
     replans_cache_on: f64,
     replans_cache_off: f64,
+    queue_ops: f64,
+    power_lut_evals: f64,
     cache_hits: u64,
     cache_misses: u64,
     digest_equal_xgene2: bool,
@@ -230,6 +310,8 @@ fn measure(reps: usize) -> Measured {
     let (campaign_cps, campaign_cells) = campaign_cells_per_sec(reps);
     let (replans_cache_on, _) = replans_per_sec(true, 20_000);
     let (replans_cache_off, _) = replans_per_sec(false, 20_000);
+    let queue_ops = queue_ops_per_sec(reps);
+    let power_lut_evals = power_lut_evals_per_sec(reps);
     let (digest_equal_xgene2, hits2, misses2) = cache_transparent("xgene2");
     let (digest_equal_xgene3, hits3, misses3) = cache_transparent("xgene3");
     Measured {
@@ -243,6 +325,8 @@ fn measure(reps: usize) -> Measured {
         campaign_cells,
         replans_cache_on,
         replans_cache_off,
+        queue_ops,
+        power_lut_evals,
         cache_hits: hits2 + hits3,
         cache_misses: misses2 + misses3,
         digest_equal_xgene2,
@@ -250,27 +334,36 @@ fn measure(reps: usize) -> Measured {
     }
 }
 
+/// Every throughput metric as `(key, value)` — one source of truth for
+/// the report, the smoke gate, and the `--compare` delta table.
+fn metric_table(m: &Measured) -> [(&'static str, f64); 8] {
+    [
+        ("sim_events_per_sec_xgene2", m.sim_eps_xgene2),
+        ("sim_events_per_sec_xgene3", m.sim_eps_xgene3),
+        ("fleet_epochs_per_sec_4n8w", m.fleet_eps),
+        ("campaign_cells_per_sec_xgene2", m.campaign_cps),
+        ("daemon_replans_per_sec_cache_on", m.replans_cache_on),
+        ("daemon_replans_per_sec_cache_off", m.replans_cache_off),
+        ("queue_ops_per_sec", m.queue_ops),
+        ("power_lut_evals_per_sec", m.power_lut_evals),
+    ]
+}
+
 fn render_json(m: &Measured) -> String {
     let hit_rate = m.cache_hits as f64 / (m.cache_hits + m.cache_misses).max(1) as f64;
-    format!(
-        "{{\n  \"schema\": \"avfs-bench-8/v1\",\n  \"metrics\": {{\n    \
-         \"sim_events_per_sec_xgene2\": {:.0},\n    \
-         \"sim_events_per_sec_xgene3\": {:.0},\n    \
-         \"fleet_epochs_per_sec_4n8w\": {:.0},\n    \
-         \"campaign_cells_per_sec_xgene2\": {:.0},\n    \
-         \"daemon_replans_per_sec_cache_on\": {:.0},\n    \
-         \"daemon_replans_per_sec_cache_off\": {:.0}\n  }},\n  \
+    let mut out = String::from("{\n  \"schema\": \"avfs-bench-9/v1\",\n  \"metrics\": {\n");
+    let metrics = metric_table(m);
+    for (i, (key, value)) in metrics.iter().enumerate() {
+        let sep = if i + 1 < metrics.len() { "," } else { "" };
+        out.push_str(&format!("    \"{key}\": {value:.0}{sep}\n"));
+    }
+    out.push_str(&format!(
+        "  }},\n  \
          \"events\": {{\"sim_xgene2\": {}, \"sim_xgene3\": {}, \"fleet_epochs\": {}, \"campaign_cells\": {}}},\n  \
          \"speedup\": {{\"daemon_replan_cache\": {:.2}}},\n  \
          \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.3}}},\n  \
          \"identity\": {{\"telemetry_digest_equal_xgene2\": {}, \
          \"telemetry_digest_equal_xgene3\": {}}}\n}}\n",
-        m.sim_eps_xgene2,
-        m.sim_eps_xgene3,
-        m.fleet_eps,
-        m.campaign_cps,
-        m.replans_cache_on,
-        m.replans_cache_off,
         m.sim_events_xgene2,
         m.sim_events_xgene3,
         m.fleet_epochs,
@@ -281,7 +374,8 @@ fn render_json(m: &Measured) -> String {
         hit_rate,
         m.digest_equal_xgene2,
         m.digest_equal_xgene3,
-    )
+    ));
+    out
 }
 
 /// Pulls `"key": <number>` out of the committed baseline (the report's
@@ -297,15 +391,8 @@ fn extract_number(json: &str, key: &str) -> Option<f64> {
 }
 
 fn smoke(m: &Measured, baseline: &str) -> Result<(), String> {
-    let gates = [
-        ("sim_events_per_sec_xgene2", m.sim_eps_xgene2),
-        ("sim_events_per_sec_xgene3", m.sim_eps_xgene3),
-        ("fleet_epochs_per_sec_4n8w", m.fleet_eps),
-        ("campaign_cells_per_sec_xgene2", m.campaign_cps),
-        ("daemon_replans_per_sec_cache_on", m.replans_cache_on),
-    ];
     let mut failures = Vec::new();
-    for (key, now) in gates {
+    for (key, now) in metric_table(m) {
         let Some(was) = extract_number(baseline, key) else {
             failures.push(format!("{key}: missing from baseline"));
             continue;
@@ -330,14 +417,48 @@ fn smoke(m: &Measured, baseline: &str) -> Result<(), String> {
     }
 }
 
+/// `--compare` A/B mode: per-metric deltas against an arbitrary
+/// baseline report (e.g. one written on another branch with
+/// `scripts/bench.sh --write`). Informational — never fails.
+fn compare(m: &Measured, baseline: &str, label: &str) {
+    println!("A/B vs {label}:");
+    for (key, now) in metric_table(m) {
+        match extract_number(baseline, key) {
+            Some(was) if was > 0.0 => {
+                let delta = (now / was - 1.0) * 100.0;
+                println!("  {key}: {was:.0}/s -> {now:.0}/s ({delta:+.1}%)");
+            }
+            _ => println!("  {key}: (missing from baseline) -> {now:.0}/s"),
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     // `cargo bench` passes `--bench`; ignore everything we don't know.
     let write = args.iter().any(|a| a == "--write");
     let smoke_mode = args.iter().any(|a| a == "--smoke");
-    let baseline_path = repo_root().join("BENCH_8.json");
+    // Cargo runs bench binaries from the package root, so resolve
+    // relative baselines against the repo root when they don't exist
+    // as given (lets `scripts/bench.sh --compare BENCH_8.json` work).
+    let compare_path = args
+        .windows(2)
+        .find(|w| w[0] == "--compare")
+        .map(|w| PathBuf::from(&w[1]))
+        .map(|p| {
+            if p.is_relative() && !p.exists() {
+                repo_root().join(&p)
+            } else {
+                p
+            }
+        });
+    let baseline_path = repo_root().join("BENCH_9.json");
 
-    let m = measure(if smoke_mode { 2 } else { 3 });
+    let m = measure(if smoke_mode || compare_path.is_some() {
+        2
+    } else {
+        3
+    });
     assert!(
         m.digest_equal_xgene2 && m.digest_equal_xgene3,
         "decision cache changed the telemetry journal"
@@ -347,7 +468,11 @@ fn main() {
     let report = render_json(&m);
     print!("{report}");
 
-    if smoke_mode {
+    if let Some(path) = &compare_path {
+        let baseline = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("no baseline at {}: {e}", path.display()));
+        compare(&m, &baseline, &path.display().to_string());
+    } else if smoke_mode {
         let baseline = std::fs::read_to_string(&baseline_path)
             .unwrap_or_else(|e| panic!("no committed {}: {e}", baseline_path.display()));
         if let Err(failures) = smoke(&m, &baseline) {

@@ -12,7 +12,7 @@ use crate::failure::{FailureModel, RunOutcome};
 use crate::fault::{FaultPlan, FaultStats, MailboxFault};
 use crate::freq::{CppcBehavior, FreqStep, FreqVminClass, FrequencyMhz};
 use crate::pmu::ChipPmu;
-use crate::power::{PowerInputs, PowerModel};
+use crate::power::{PowerInputs, PowerLut, PowerModel};
 use crate::slimpro::{MailboxRequest, MailboxResponse, MailboxStats};
 use crate::topology::{ChipSpec, CoreSet, PmdId};
 use crate::vmin::{VminDrift, VminModel, VminQuery};
@@ -29,6 +29,10 @@ pub struct Chip {
     pmd_steps: Vec<FreqStep>,
     vmin: VminModel,
     power: PowerModel,
+    /// [`PowerLut`] tabulation of `power` over the chip's operating
+    /// points; bit-identical to the model and rebuilt only at
+    /// construction (the model itself never changes at runtime).
+    power_lut: PowerLut,
     droop: DroopModel,
     failure: FailureModel,
     pmu: ChipPmu,
@@ -39,6 +43,13 @@ pub struct Chip {
     /// every operation exactly as reliable as before the fault layer
     /// existed.
     fault: Option<FaultPlan>,
+    /// Monotonic counter bumped whenever power/safety-relevant state
+    /// actually changes (rail voltage, a PMD step, the Vmin surface, the
+    /// fault plan). Lets callers cache quantities derived from chip
+    /// state and revalidate with one integer compare instead of
+    /// re-deriving per slice. Re-asserting an unchanged value does not
+    /// bump it.
+    state_epoch: u64,
     /// Observer handle for the mailbox/fault paths. Null (one branch,
     /// no observer) unless installed via [`Chip::set_telemetry`]. The
     /// chip owns no clock, so event timestamps come from whoever last
@@ -63,6 +74,12 @@ impl Chip {
         );
         let pmds = spec.pmds() as usize;
         let cores = spec.cores as usize;
+        let fmax = FrequencyMhz::new(spec.fmax_mhz);
+        let power_lut = power.build_lut(
+            FreqStep::all().map(|s| s.frequency(fmax).as_mhz()),
+            spec.vreg_floor_mv,
+            spec.nominal_mv,
+        );
         Chip {
             spec,
             behavior,
@@ -70,14 +87,25 @@ impl Chip {
             pmd_steps: vec![FreqStep::MAX; pmds],
             vmin,
             power,
+            power_lut,
             droop,
             failure,
             pmu: ChipPmu::new(cores),
             mailbox_stats: MailboxStats::default(),
             last_sensor_mw: 0,
             fault: None,
+            state_epoch: 0,
             telemetry: Telemetry::null(),
         }
+    }
+
+    /// The current state epoch: increments exactly when power/safety
+    /// relevant chip state changes (voltage, frequency program, Vmin
+    /// drift, fault plan). Two calls returning the same value guarantee
+    /// every power/Vmin evaluation in between would have returned the
+    /// same result for the same inputs.
+    pub fn state_epoch(&self) -> u64 {
+        self.state_epoch
     }
 
     /// Installs a telemetry handle; the mailbox and fault paths report
@@ -96,6 +124,7 @@ impl Chip {
     /// droop/failure sampling.
     pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
         self.fault = plan;
+        self.state_epoch += 1;
     }
 
     /// The armed fault plan, if any.
@@ -214,14 +243,22 @@ impl Chip {
             .pmd_steps
             .get_mut(pmd.index())
             .ok_or(ChipError::InvalidPmd(pmd))?;
-        *slot = step;
+        if *slot != step {
+            *slot = step;
+            self.state_epoch += 1;
+        }
         Ok(())
     }
 
     /// Sets every PMD to the same step.
     pub fn set_all_freq_steps(&mut self, step: FreqStep) {
+        let mut changed = false;
         for s in &mut self.pmd_steps {
+            changed |= *s != step;
             *s = step;
+        }
+        if changed {
+            self.state_epoch += 1;
         }
     }
 
@@ -327,27 +364,33 @@ impl Chip {
     /// The fault-free mailbox path: actually processes the request.
     fn mailbox_apply(&mut self, req: MailboxRequest) -> MailboxResponse {
         match req {
-            MailboxRequest::SetVoltage(mv) => match self.rail.set(mv) {
-                Ok(()) => {
-                    self.mailbox_stats.voltage_changes += 1;
-                    self.telemetry.counter_inc("chip.mailbox.voltage_sets");
-                    MailboxResponse::VoltageSet(mv)
-                }
-                Err(e) => {
-                    self.mailbox_stats.refusals += 1;
-                    self.telemetry.counter_inc("chip.mailbox.window_refusals");
-                    self.telemetry.trace(TraceKind::MailboxFault, || {
-                        vec![
-                            ("op", Value::Str("set_voltage")),
-                            ("fault", Value::Str("window_refused")),
-                            ("requested_mv", Value::U64(u64::from(mv.as_mv()))),
-                        ]
-                    });
-                    MailboxResponse::Refused {
-                        reason: e.to_string(),
+            MailboxRequest::SetVoltage(mv) => {
+                let before = self.rail.current();
+                match self.rail.set(mv) {
+                    Ok(()) => {
+                        if self.rail.current() != before {
+                            self.state_epoch += 1;
+                        }
+                        self.mailbox_stats.voltage_changes += 1;
+                        self.telemetry.counter_inc("chip.mailbox.voltage_sets");
+                        MailboxResponse::VoltageSet(mv)
+                    }
+                    Err(e) => {
+                        self.mailbox_stats.refusals += 1;
+                        self.telemetry.counter_inc("chip.mailbox.window_refusals");
+                        self.telemetry.trace(TraceKind::MailboxFault, || {
+                            vec![
+                                ("op", Value::Str("set_voltage")),
+                                ("fault", Value::Str("window_refused")),
+                                ("requested_mv", Value::U64(u64::from(mv.as_mv()))),
+                            ]
+                        });
+                        MailboxResponse::Refused {
+                            reason: e.to_string(),
+                        }
                     }
                 }
-            },
+            }
             MailboxRequest::GetVoltage => MailboxResponse::Voltage(self.rail.current()),
             MailboxRequest::ReadPowerSensor => MailboxResponse::PowerMw(self.last_sensor_mw),
             MailboxRequest::GetFirmwareInfo => {
@@ -388,10 +431,18 @@ impl Chip {
     }
 
     /// Evaluates instantaneous power and latches it into the sensor.
+    /// Served from the construction-time [`PowerLut`] (bit-identical to
+    /// [`PowerModel::power_w`]; off-table inputs fall back to the live
+    /// model).
     pub fn evaluate_power_w(&mut self, inputs: &PowerInputs) -> f64 {
-        let w = self.power.power_w(inputs);
+        let w = self.power_lut.power_w(inputs);
         self.last_sensor_mw = (w * 1_000.0).round() as u64;
         w
+    }
+
+    /// The construction-time power lookup table.
+    pub fn power_lut(&self) -> &PowerLut {
+        &self.power_lut
     }
 
     /// Applies a scripted aging/temperature [`VminDrift`]: the chip's
@@ -400,6 +451,7 @@ impl Chip {
     /// [`TraceKind::DriftEvent`].
     pub fn apply_vmin_drift(&mut self, drift: VminDrift) {
         self.vmin = self.vmin.with_drift(drift);
+        self.state_epoch += 1;
         self.telemetry.counter_inc("chip.vmin.drift_events");
         self.telemetry.trace(TraceKind::DriftEvent, || {
             vec![

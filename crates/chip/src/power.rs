@@ -125,6 +125,17 @@ impl PowerModel {
         })
     }
 
+    /// Builds the lookup table that evaluates this model without
+    /// re-deriving per-operating-point constants. See [`PowerLut`].
+    pub fn build_lut(
+        &self,
+        freqs_mhz: impl IntoIterator<Item = u32>,
+        floor_mv: u32,
+        nominal_mv: u32,
+    ) -> PowerLut {
+        PowerLut::new(self.clone(), freqs_mhz, floor_mv, nominal_mv)
+    }
+
     /// Power at full load: every core active at `freq_mhz` with the given
     /// activity.
     pub fn full_load_power_w(
@@ -147,6 +158,140 @@ impl PowerModel {
             ],
             mem_traffic,
         })
+    }
+}
+
+/// Precomputed per-PMD dynamic-power terms for one (frequency,
+/// active-core-count) operating point. Each field is one factor or term
+/// of [`PowerModel::power_w`]'s inner loop, produced by *the same
+/// floating-point operations in the same order*, so substituting them is
+/// bit-exact.
+#[derive(Debug, Clone, Copy)]
+struct PmdTerm {
+    /// `active_cores · k_dyn` — the left-to-right prefix of the dynamic
+    /// term; the runtime factors (`· activity · f_ghz`) are applied in
+    /// the original order on top.
+    c_dyn: f64,
+    /// `k_pmd · f_ghz`, the whole clock-tree term.
+    t_pmd: f64,
+    /// `(idle_cores · k_idle) · f_ghz`, the whole idle-core term.
+    t_idle: f64,
+    /// `freq_mhz / 1000.0`.
+    f_ghz: f64,
+}
+
+/// A power lookup table: [`PowerModel::power_w`] with every quantity
+/// that depends only on (frequency step, voltage step, active-core
+/// count) precomputed at construction, following the analytic-model
+/// tabulation approach (Hofmann et al.). Activity and memory traffic
+/// stay runtime inputs — they are continuous.
+///
+/// Evaluation is **bit-identical** to the model it was built from: each
+/// precomputed value is produced by the exact operation sequence the
+/// live path would execute. Inputs outside the tabulated domain (an
+/// off-table frequency, a voltage outside `[floor, nominal]`) fall back
+/// to the live model.
+#[derive(Debug, Clone)]
+pub struct PowerLut {
+    model: PowerModel,
+    floor_mv: u32,
+    /// `(vr², vr³)` per millivolt in `floor_mv..=nominal_mv`.
+    vr: Vec<(f64, f64)>,
+    /// Tabulated frequencies, MHz (tiny: one per [`crate::freq::FreqStep`]).
+    freqs_mhz: Vec<u32>,
+    /// `terms[freq_idx · (cores_per_pmd + 1) + active_cores]`.
+    terms: Vec<PmdTerm>,
+}
+
+impl PowerLut {
+    /// Tabulates `model` over the given frequencies and the voltage
+    /// window `floor_mv..=nominal_mv`.
+    fn new(
+        model: PowerModel,
+        freqs_mhz: impl IntoIterator<Item = u32>,
+        floor_mv: u32,
+        nominal_mv: u32,
+    ) -> Self {
+        let vr = (floor_mv..=nominal_mv)
+            .map(|mv| {
+                let vr = mv as f64 / model.nominal_mv as f64;
+                let vr2 = vr * vr;
+                (vr2, vr2 * vr)
+            })
+            .collect();
+        let mut freqs: Vec<u32> = freqs_mhz.into_iter().collect();
+        freqs.sort_unstable();
+        freqs.dedup();
+        let stride = model.cores_per_pmd as usize + 1;
+        let mut terms = Vec::with_capacity(freqs.len() * stride);
+        for &mhz in &freqs {
+            let f_ghz = mhz as f64 / 1_000.0;
+            for n in 0..stride {
+                let idle_cores = (model.cores_per_pmd - n as u8) as f64;
+                terms.push(PmdTerm {
+                    c_dyn: n as f64 * model.k_dyn_core_w_per_ghz,
+                    t_pmd: model.k_pmd_w_per_ghz * f_ghz,
+                    t_idle: idle_cores * model.k_idle_core_w_per_ghz * f_ghz,
+                    f_ghz,
+                });
+            }
+        }
+        PowerLut {
+            model,
+            floor_mv,
+            vr,
+            freqs_mhz: freqs,
+            terms,
+        }
+    }
+
+    /// The model this table was built from.
+    pub fn model(&self) -> &PowerModel {
+        &self.model
+    }
+
+    /// Instantaneous PCP power in watts — bit-identical to
+    /// [`PowerModel::power_w`] on the same inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an active-core count exceeds `cores_per_pmd` (same
+    /// contract as the live model).
+    pub fn power_w(&self, inputs: &PowerInputs) -> f64 {
+        let mv = inputs.voltage.as_mv();
+        let Some(&(vr2, vr3)) = mv
+            .checked_sub(self.floor_mv)
+            .and_then(|i| self.vr.get(i as usize))
+        else {
+            return self.model.power_w(inputs);
+        };
+
+        let stride = self.model.cores_per_pmd as usize + 1;
+        let mut dyn_w = 0.0;
+        for load in &inputs.pmd_loads {
+            assert!(
+                load.active_cores <= self.model.cores_per_pmd,
+                "{} active cores in a {}-core PMD",
+                load.active_cores,
+                self.model.cores_per_pmd
+            );
+            if load.is_idle() {
+                continue; // clock-gated: only leakage, counted chip-wide
+            }
+            let Some(fi) = self.freqs_mhz.iter().position(|&f| f == load.freq_mhz) else {
+                return self.model.power_w(inputs);
+            };
+            let term = &self.terms[fi * stride + load.active_cores as usize];
+            let act = load.activity.clamp(0.0, 1.0);
+            dyn_w += term.c_dyn * act * term.f_ghz;
+            dyn_w += term.t_pmd;
+            dyn_w += term.t_idle;
+        }
+
+        let uncore_w = self.model.uncore_static_w
+            + self.model.uncore_dyn_w * inputs.mem_traffic.clamp(0.0, 1.0);
+
+        dyn_w * vr2 + uncore_w * vr2 + self.model.leak_w * vr3
     }
 }
 
@@ -278,6 +423,92 @@ mod tests {
     fn rejects_overfull_pmd() {
         let m = model();
         let _ = m.power_w(&PowerInputs {
+            voltage: Millivolts::new(980),
+            pmd_loads: vec![PmdLoad {
+                freq_mhz: 2400,
+                active_cores: 3,
+                activity: 1.0,
+            }],
+            mem_traffic: 0.0,
+        });
+    }
+
+    #[test]
+    fn lut_matches_model_over_full_domain_on_both_presets() {
+        // Every operating point the simulator can reach: each preset's 8
+        // frequency steps × every legal rail millivolt × every
+        // active-core count, at several activity and traffic levels.
+        // Bit-equality, not tolerance — the LUT substitutes for the
+        // model inside digest-checked runs.
+        use crate::freq::FreqStep;
+        use crate::presets;
+        for builder in [presets::xgene2(), presets::xgene3()] {
+            let chip = builder.build();
+            let spec = chip.spec();
+            let model = chip.power_model();
+            let lut = chip.power_lut();
+            let fmax = crate::freq::FrequencyMhz::new(spec.fmax_mhz);
+            for step in FreqStep::all() {
+                let mhz = step.frequency(fmax).as_mhz();
+                for mv in (spec.vreg_floor_mv..=spec.nominal_mv).step_by(7) {
+                    for n in 0..=model.cores_per_pmd {
+                        for act in [0.0, 0.37, 1.0] {
+                            for traffic in [0.0, 0.61, 1.0] {
+                                let inputs = PowerInputs {
+                                    voltage: Millivolts::new(mv),
+                                    pmd_loads: vec![
+                                        PmdLoad {
+                                            freq_mhz: mhz,
+                                            active_cores: n,
+                                            activity: act,
+                                        },
+                                        PmdLoad::IDLE,
+                                    ],
+                                    mem_traffic: traffic,
+                                };
+                                assert_eq!(
+                                    model.power_w(&inputs).to_bits(),
+                                    lut.power_w(&inputs).to_bits(),
+                                    "{mhz} MHz, {mv} mV, {n} cores, act {act}, traffic {traffic}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lut_falls_back_to_model_off_table() {
+        let m = model();
+        let lut = m.build_lut([2400, 1200], 600, 980);
+        // Off-table frequency and out-of-window voltages still answer,
+        // bit-identically to the live model.
+        for (mhz, mv) in [(1337, 900), (2400, 599), (2400, 981), (2400, 1200)] {
+            let inputs = PowerInputs {
+                voltage: Millivolts::new(mv),
+                pmd_loads: vec![PmdLoad {
+                    freq_mhz: mhz,
+                    active_cores: 2,
+                    activity: 0.8,
+                }],
+                mem_traffic: 0.4,
+            };
+            assert_eq!(
+                m.power_w(&inputs).to_bits(),
+                lut.power_w(&inputs).to_bits(),
+                "{mhz} MHz at {mv} mV"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "active cores")]
+    fn lut_rejects_overfull_pmd() {
+        let m = model();
+        let lut = m.build_lut([2400], 600, 980);
+        let _ = lut.power_w(&PowerInputs {
             voltage: Millivolts::new(980),
             pmd_loads: vec![PmdLoad {
                 freq_mhz: 2400,

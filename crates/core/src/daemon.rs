@@ -170,22 +170,28 @@ struct PlanScratch {
     procs: Vec<PlanProc>,
     layout: LayoutScratch,
     steps: Vec<FreqStep>,
+    /// Canonical plan order: rank → view index (see
+    /// [`Daemon::canonical_order`]).
+    order: Vec<usize>,
+    /// Target assignments in canonical order, fed to pin sequencing.
+    targets: Vec<(Pid, CoreSet)>,
 }
 
 /// A memoized *placement* decision: the fingerprint of everything the
 /// layout/frequency planner reads, and the plan it produced. Pins are
-/// stored by the process's *position* in the view (the plan depends on
-/// processes only through their order, threads, state, placement, and
-/// class — never on raw pid values), so a cached plan replays correctly
-/// after pids churn. The voltage program is deliberately *not* cached:
-/// it depends on the entering rail voltage (which varies with the
-/// previous configuration even when the placement state recurs) and is
-/// cheap table lookups — recomputing it live keeps the key small and
-/// the hit rate high.
+/// stored by the process's *canonical rank* (its position in
+/// [`Daemon::canonical_order`] — the shape-sorted order the whole
+/// planning pipeline runs in), never by raw pid or view position: the
+/// plan depends on processes only through their shapes, so a cached
+/// plan replays correctly after pid churn permutes the view. The
+/// voltage program is deliberately *not* cached: it depends on the
+/// entering rail voltage (which varies with the previous configuration
+/// even when the placement state recurs) and is cheap table lookups —
+/// recomputing it live keeps the key small and the hit rate high.
 #[derive(Debug, Clone)]
 struct CachedPlan {
     key: u64,
-    /// Ordered pins, as (view index, target cores).
+    /// Ordered pins, as (canonical rank, target cores).
     pins: Vec<(usize, CoreSet)>,
     /// Full per-PMD frequency program.
     steps: Vec<FreqStep>,
@@ -606,7 +612,8 @@ impl Daemon {
         // The scratch buffers persist across replans (taken out of self
         // so the planner can borrow them while `self` stays usable).
         let mut scratch = std::mem::take(&mut self.plan_scratch);
-        let key = self.decision_key(view);
+        self.canonical_order(view, &mut scratch.order);
+        let key = self.decision_key(view, &scratch.order);
         let hit = if self.cache_enabled {
             self.cache.iter().position(|e| e.key == key)
         } else {
@@ -614,28 +621,37 @@ impl Daemon {
         };
         let (pins, target_busy) = if let Some(idx) = hit {
             self.cache_hits += 1;
-            let entry = self.cache[idx].clone();
+            let entry = &self.cache[idx];
             scratch.steps.clear();
             scratch.steps.extend_from_slice(&entry.steps);
-            // The sequencing pass counts deferrals unconditionally (even
-            // zero), so the replay must touch the counter at the same
-            // point for the cached journal to stay byte-identical.
-            self.count(Dc::DeferredPins, entry.deferred);
             let pins: Vec<(Pid, CoreSet)> = entry
                 .pins
                 .iter()
-                .map(|&(i, cores)| (view.processes[i].pid, cores))
+                .map(|&(rank, cores)| (view.processes[scratch.order[rank]].pid, cores))
                 .collect();
-            (pins, entry.target_busy)
+            let deferred = entry.deferred;
+            let target_busy = entry.target_busy;
+            // LRU: move the hit entry to the back; eviction takes the
+            // front, so recurring configurations survive one-off visits.
+            self.cache[idx..].rotate_left(1);
+            // The sequencing pass counts deferrals unconditionally (even
+            // zero), so the replay must touch the counter at the same
+            // point for the cached journal to stay byte-identical.
+            self.count(Dc::DeferredPins, deferred);
+            (pins, target_busy)
         } else {
+            // The whole fresh pipeline runs in canonical order, so its
+            // decisions are a function of the fingerprinted shapes alone
+            // — the property the rank-encoded replay above relies on.
             scratch.procs.clear();
-            scratch
-                .procs
-                .extend(view.processes.iter().map(|p| PlanProc {
+            scratch.procs.extend(scratch.order.iter().map(|&i| {
+                let p = &view.processes[i];
+                PlanProc {
                     pid: p.pid,
                     threads: p.threads,
                     class: self.tracker.class_of(p.pid),
-                }));
+                }
+            }));
             plan_layout_into(&self.spec, &scratch.procs, &mut scratch.layout);
             // Running processes the layout could not re-fit (fragmentation
             // under oversubscription: a wide process cannot be packed around
@@ -671,21 +687,32 @@ impl Daemon {
                     planned
                 });
             }
+            // Sequencing consumes targets in canonical order too: the
+            // emitted pin *order* must be shape-determined for the
+            // rank-encoded replay to reproduce it on a permuted view.
+            scratch.targets.clear();
+            for &i in &scratch.order {
+                let pid = view.processes[i].pid;
+                if let Some(cores) = scratch.layout.assignment_of(pid) {
+                    scratch.targets.push((pid, cores));
+                }
+            }
             let deferred_before = self.registry.get(Dc::DeferredPins as usize);
-            let pins = self.sequence_pins(view, scratch.layout.assignment());
+            let pins = self.sequence_pins(view, &scratch.targets);
             let deferred = self.registry.get(Dc::DeferredPins as usize) - deferred_before;
             let target_busy = scratch.layout.busy_cores().union(stranded);
             if self.cache_enabled {
                 self.cache_misses += 1;
-                // Pins re-encoded by view position; every pinned pid comes
-                // from the view, so the lookup cannot fail.
+                // Pins re-encoded by canonical rank; every pinned pid
+                // comes from the view, so the lookup cannot fail.
                 let encoded: Option<Vec<(usize, CoreSet)>> = pins
                     .iter()
                     .map(|&(pid, cores)| {
-                        view.processes
+                        scratch
+                            .order
                             .iter()
-                            .position(|p| p.pid == pid)
-                            .map(|i| (i, cores))
+                            .position(|&i| view.processes[i].pid == pid)
+                            .map(|rank| (rank, cores))
                     })
                     .collect();
                 if let Some(encoded) = encoded {
@@ -797,19 +824,49 @@ impl Daemon {
         actions
     }
 
+    /// The canonical planning order: view indices sorted by process
+    /// *shape* — run state (running first), current placement bits,
+    /// width, tracked class. The fingerprint hashes shapes in this
+    /// order and the fresh pipeline plans in it, so two views whose
+    /// shape multisets match produce identical rank-indexed plans even
+    /// when pid churn permutes the view. Equal-shape processes are
+    /// interchangeable (running processes always differ in placement
+    /// bits; tied waiting processes have the same width and class), so
+    /// the tie order within the sort cannot affect the plan.
+    fn canonical_order(&self, view: &SystemView, order: &mut Vec<usize>) {
+        order.clear();
+        order.extend(0..view.processes.len());
+        order.sort_unstable_by_key(|&i| {
+            let p = &view.processes[i];
+            let state_rank: u8 = match p.state {
+                ProcessState::Running => 0,
+                ProcessState::Waiting => 1,
+                ProcessState::Finished => 2,
+            };
+            let class_rank: u8 = match self.tracker.class_of(p.pid) {
+                IntensityClass::CpuIntensive => 0,
+                IntensityClass::MemoryIntensive => 1,
+            };
+            (state_rank, p.assigned.bits(), p.threads, class_rank)
+        });
+    }
+
     /// Fingerprint of everything the *placement* planner reads: the
     /// per-PMD step program (stranded cores are never throttled below
-    /// their current step) and each process's shape in view order —
-    /// threads, run state, current placement, and tracked class. Pids
-    /// are deliberately excluded: the plan depends on processes only
-    /// through their order and shape, so a cached decision stays valid
-    /// across pid churn. The rail voltage, droop guard, and recovery
-    /// posture feed only the voltage program, which is recomputed live
-    /// on every replan — hashing them would sink the hit rate (the
-    /// entering voltage varies with the *previous* configuration even
-    /// when the placement state recurs). The daemon's own config is not
-    /// hashed; its setters invalidate the cache instead.
-    fn decision_key(&self, view: &SystemView) -> u64 {
+    /// their current step) and each process's shape in canonical order
+    /// — threads, run state, current placement, and tracked class. Pids
+    /// are deliberately excluded, and shapes are hashed in
+    /// [`Self::canonical_order`] rather than view order: the plan
+    /// depends on processes only through their shapes, so a cached
+    /// decision stays valid across pid churn *and* across churn-induced
+    /// permutations of the view. The rail voltage, droop guard, and
+    /// recovery posture feed only the voltage program, which is
+    /// recomputed live on every replan — hashing them would sink the
+    /// hit rate (the entering voltage varies with the *previous*
+    /// configuration even when the placement state recurs). The
+    /// daemon's own config is not hashed; its setters invalidate the
+    /// cache instead.
+    fn decision_key(&self, view: &SystemView, order: &[usize]) -> u64 {
         const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
         fn mix(h: u64, v: u64) -> u64 {
             (h ^ v).wrapping_mul(FNV_PRIME)
@@ -820,7 +877,8 @@ impl Daemon {
             h = mix(h, u64::from(step.numerator()));
         }
         h = mix(h, view.processes.len() as u64);
-        for p in &view.processes {
+        for &i in order {
+            let p = &view.processes[i];
             h = mix(h, p.threads as u64);
             h = mix(
                 h,

@@ -11,12 +11,21 @@
 use avfs_sched::driver::SystemView;
 use avfs_sched::process::Pid;
 use avfs_workloads::classify::IntensityClass;
-use std::collections::BTreeMap;
 
 /// The daemon's record of process classifications.
+///
+/// Stored as a pid-sorted vector (views list processes pid-ascending,
+/// so a refresh is one linear pass) with two scratch buffers recycled
+/// across refreshes — the tracker allocates nothing in steady state.
 #[derive(Debug, Clone, Default)]
 pub struct ClassTracker {
-    classes: BTreeMap<Pid, IntensityClass>,
+    /// Pid-sorted `(pid, class)` records.
+    classes: Vec<(Pid, IntensityClass)>,
+    /// Pids whose class changed in the last refresh (returned by
+    /// borrow, reused each call).
+    changed: Vec<Pid>,
+    /// Spare record buffer swapped with `classes` on refresh.
+    spare: Vec<(Pid, IntensityClass)>,
 }
 
 impl ClassTracker {
@@ -29,39 +38,49 @@ impl ClassTracker {
     /// measured otherwise).
     pub fn class_of(&self, pid: Pid) -> IntensityClass {
         self.classes
-            .get(&pid)
-            .copied()
+            .binary_search_by_key(&pid, |&(p, _)| p)
+            .map(|i| self.classes[i].1)
             .unwrap_or(IntensityClass::CpuIntensive)
     }
 
     /// Ingests the latest view: refreshes known classes and drops
     /// processes that left the system. Returns pids whose class changed
-    /// since the last refresh.
-    pub fn refresh(&mut self, view: &SystemView) -> Vec<Pid> {
-        let mut changed = Vec::new();
-        let mut next = BTreeMap::new();
+    /// since the last refresh (borrowed from the tracker's scratch;
+    /// valid until the next call).
+    pub fn refresh(&mut self, view: &SystemView) -> &[Pid] {
+        self.changed.clear();
+        let mut next = std::mem::take(&mut self.spare);
+        next.clear();
         for p in &view.processes {
             let class = p.class.unwrap_or_else(|| self.class_of(p.pid));
-            if let Some(&old) = self.classes.get(&p.pid) {
-                if old != class {
-                    changed.push(p.pid);
+            if let Ok(i) = self.classes.binary_search_by_key(&p.pid, |&(q, _)| q) {
+                if self.classes[i].1 != class {
+                    self.changed.push(p.pid);
                 }
             }
-            next.insert(p.pid, class);
+            debug_assert!(
+                next.last().is_none_or(|&(q, _)| q < p.pid),
+                "views must list processes pid-ascending"
+            );
+            next.push((p.pid, class));
         }
-        self.classes = next;
-        changed
+        std::mem::swap(&mut self.classes, &mut next);
+        self.spare = next;
+        &self.changed
     }
 
     /// Records an explicit class-change notification.
     pub fn set(&mut self, pid: Pid, class: IntensityClass) {
-        self.classes.insert(pid, class);
+        match self.classes.binary_search_by_key(&pid, |&(p, _)| p) {
+            Ok(i) => self.classes[i].1 = class,
+            Err(i) => self.classes.insert(i, (pid, class)),
+        }
     }
 
     /// Tracked `(pid, class)` pairs in pid order (deterministic across
     /// runs; used for control-state fingerprinting).
     pub fn entries(&self) -> impl Iterator<Item = (Pid, IntensityClass)> + '_ {
-        self.classes.iter().map(|(&pid, &class)| (pid, class))
+        self.classes.iter().copied()
     }
 
     /// Number of tracked processes.
@@ -79,8 +98,8 @@ impl ClassTracker {
     pub fn counts(&self) -> (usize, usize) {
         let mem = self
             .classes
-            .values()
-            .filter(|c| **c == IntensityClass::MemoryIntensive)
+            .iter()
+            .filter(|(_, c)| *c == IntensityClass::MemoryIntensive)
             .count();
         (self.classes.len() - mem, mem)
     }

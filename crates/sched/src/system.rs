@@ -98,10 +98,61 @@ fn cond_of(conds: &[(Pid, Cond)], pid: Pid) -> Option<Cond> {
         .map(|i| conds[i].1)
 }
 
+/// One running process's contribution to the slice signature: the
+/// complete set of per-process inputs that progress rates, power, and
+/// safety are a function of. Progress enters only through the discrete
+/// phase index — [`phases::effective_profile`] is piecewise constant in
+/// progress, so two instants with equal signatures (and equal chip
+/// epochs) yield bit-identical conditions and power.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SigEntry {
+    pid: Pid,
+    assigned: CoreSet,
+    phase: u32,
+    stalled: bool,
+}
+
+/// Slice-invariant quantities memoized between change points: power,
+/// safety, and the droop classification of the current allocation. Valid
+/// only while the signature (process set, placement, phases, stalls),
+/// the chip's state epoch, and the droop alert all match — i.e. until
+/// the next V/F/allocation/arrival/finish/phase boundary.
+#[derive(Debug, Default)]
+struct SliceCache {
+    valid: bool,
+    chip_epoch: u64,
+    droop_alert: bool,
+    /// Instantaneous chip power for the slice.
+    watts: f64,
+    /// True when the rail sits below the allocation's safe Vmin.
+    unsafe_active: bool,
+    /// Sub-Vmin failure probability per unit run (0 unless unsafe and
+    /// failure injection is on).
+    p_per_run: f64,
+    /// PMDs utilized by the current allocation (drives the droop class).
+    utilized: usize,
+}
+
+/// Per-process memo for the PMU observables of a slice, keyed on the
+/// end-of-slice phase plus the frequency/contention pair from the
+/// conditions. Unlike [`SliceCache`] (start-of-slice state), these
+/// follow the progress *after* integration, so they get their own keys.
+#[derive(Debug, Clone, Copy)]
+struct PmuMemoEntry {
+    pid: Pid,
+    phase: u32,
+    freq: u32,
+    mult_bits: u64,
+    l3_rate: f64,
+    act: f64,
+}
+
 /// Reusable hot-path buffers, cleared and refilled per event instead of
 /// re-allocated. Pure caches of capacity — nothing in here survives an
 /// event observably, so dropping the whole struct between any two events
-/// would not change a single output byte.
+/// would not change a single output byte. (The [`SliceCache`] inside is
+/// a pure memo with the same property: every cached value is recomputed
+/// bit-identically on a miss.)
 #[derive(Debug, Default)]
 struct Scratch {
     /// Pid-sorted per-process conditions for the current instant.
@@ -120,6 +171,20 @@ struct Scratch {
     free: Vec<CoreId>,
     /// Governor frequency-step decisions staged before application.
     steps: Vec<(PmdId, FreqStep)>,
+    /// Signature the slice cache was computed under.
+    sig: Vec<SigEntry>,
+    /// Signature being probed this iteration (swapped with `sig`).
+    sig_next: Vec<SigEntry>,
+    /// Memoized slice-invariant power/safety quantities.
+    slice: SliceCache,
+    /// Per-process PMU observables memo (aligned with `conds`).
+    pmu_memo: Vec<PmuMemoEntry>,
+    /// Fault notices produced by the current action batch.
+    notices: Vec<FaultNotice>,
+    /// Fault notices accumulating for the next feedback round.
+    notices_next: Vec<FaultNotice>,
+    /// Class changes from the monitoring window being closed.
+    class_changes: Vec<(Pid, IntensityClass)>,
 }
 
 /// Per-process monitoring state.
@@ -153,6 +218,12 @@ pub struct System {
     rejected_actions: u64,
     telemetry: Telemetry,
     scratch: Scratch,
+    /// When true (the default), power/safety quantities are evaluated
+    /// only at change points and reused across the piecewise-constant
+    /// slices in between. Disabling forces a full re-evaluation every
+    /// slice — the reference path the bit-identity tests compare
+    /// against.
+    change_point_integration: bool,
 }
 
 /// Bookkeeping for an in-progress incremental run (see
@@ -276,7 +347,17 @@ impl System {
             rejected_actions: 0,
             telemetry,
             scratch: Scratch::default(),
+            change_point_integration: true,
         }
+    }
+
+    /// Enables or disables change-point integration (enabled by
+    /// default). Disabling re-derives power, conditions, and safety on
+    /// every slice instead of only at change points; both modes produce
+    /// bit-identical runs — the toggle exists so tests can prove it.
+    pub fn set_change_point_integration(&mut self, enabled: bool) {
+        self.change_point_integration = enabled;
+        self.scratch.slice.valid = false;
     }
 
     /// Starts a [`SystemBuilder`] — the blessed construction path.
@@ -335,6 +416,9 @@ impl System {
     /// Direct V/F mutation through this handle bypasses the driver and
     /// is on the caller.
     pub fn chip_mut(&mut self) -> &mut Chip {
+        // External mutation may change anything; drop the slice memo so
+        // the next slice re-derives power and safety from scratch.
+        self.scratch.slice.valid = false;
         &mut self.chip
     }
 
@@ -480,12 +564,12 @@ impl System {
             self.bump_iterations(st);
             self.process_due(st, driver);
 
-            // Conditions are computed once per iteration and shared by
-            // the completion-time scan and the slice integration below —
+            // Conditions are validated (and recomputed only at change
+            // points) once per iteration, then shared by the
+            // completion-time scan and the slice integration below —
             // nothing between the two mutates state they depend on.
-            let mut conds = std::mem::take(&mut self.scratch.conds);
-            let mut owner = std::mem::take(&mut self.scratch.owner);
-            self.fill_conditions(&mut conds, &mut owner);
+            self.refresh_slice();
+            let conds = std::mem::take(&mut self.scratch.conds);
 
             // Candidate next event times, capped at the horizon.
             let mut next = horizon;
@@ -508,7 +592,6 @@ impl System {
             // Integrate the slice [now, next).
             self.advance_to(next, &conds, &mut st.metrics);
             self.scratch.conds = conds;
-            self.scratch.owner = owner;
         }
     }
 
@@ -525,9 +608,8 @@ impl System {
                 return;
             }
 
-            let mut conds = std::mem::take(&mut self.scratch.conds);
-            let mut owner = std::mem::take(&mut self.scratch.owner);
-            self.fill_conditions(&mut conds, &mut owner);
+            self.refresh_slice();
+            let conds = std::mem::take(&mut self.scratch.conds);
 
             // Candidate next event times (live > 0 here, so the monitor
             // and sampler are always candidates).
@@ -544,7 +626,6 @@ impl System {
             let next = next.max(self.now);
             self.advance_to(next, &conds, &mut st.metrics);
             self.scratch.conds = conds;
-            self.scratch.owner = owner;
         }
     }
 
@@ -616,9 +697,10 @@ impl System {
             if let Some(plan) = self.chip.fault_plan_mut() {
                 plan.droop_check();
             }
-            let changes = self.close_monitor_windows();
+            self.close_monitor_windows();
             self.dispatch(driver, SysEvent::MonitorTick, &mut st.metrics);
-            for (pid, class) in changes {
+            let changes = std::mem::take(&mut self.scratch.class_changes);
+            for &(pid, class) in &changes {
                 self.telemetry.trace(TraceKind::Classification, || {
                     vec![
                         ("pid", Value::U64(pid.0)),
@@ -633,6 +715,7 @@ impl System {
                 });
                 self.dispatch(driver, SysEvent::ClassChanged(pid, class), &mut st.metrics);
             }
+            self.scratch.class_changes = changes;
             self.apply_governor();
         }
 
@@ -746,21 +829,102 @@ impl System {
                 ("actions", Value::U64(n_acts)),
             ]
         });
-        let mut notices = self.apply_actions(&acts, metrics);
+        let mut notices = std::mem::take(&mut self.scratch.notices);
+        let mut next = std::mem::take(&mut self.scratch.notices_next);
+        notices.clear();
+        self.apply_actions_into(&acts, metrics, &mut notices);
         for _ in 0..FAULT_FEEDBACK_ROUNDS {
             if notices.is_empty() {
                 break;
             }
-            let mut next = Vec::new();
-            for notice in notices {
+            next.clear();
+            for &notice in &notices {
                 self.telemetry.counter_inc("sched.fault_feedback_events");
                 self.fill_view(&mut view);
                 let acts = driver.on_event(&view, &SysEvent::OperationFault(notice));
-                next.extend(self.apply_actions(&acts, metrics));
+                self.apply_actions_into(&acts, metrics, &mut next);
             }
-            notices = next;
+            std::mem::swap(&mut notices, &mut next);
         }
+        self.scratch.notices = notices;
+        self.scratch.notices_next = next;
         self.scratch.view = Some(view);
+    }
+
+    /// Validates the slice memo against the current signature (process
+    /// placement, phases, stalls), chip state epoch, and droop alert;
+    /// recomputes conditions, power, and safety only on mismatch — i.e.
+    /// only at change points. After this returns, `scratch.conds` and
+    /// `scratch.slice` describe the slice starting at `self.now`,
+    /// bit-identically to an unconditional recompute.
+    fn refresh_slice(&mut self) {
+        let mut sig_next = std::mem::take(&mut self.scratch.sig_next);
+        sig_next.clear();
+        sig_next.extend(
+            self.procs
+                .values()
+                .filter(|p| p.is_running())
+                .map(|p| SigEntry {
+                    pid: p.pid,
+                    assigned: p.assigned,
+                    phase: phases::phase_index(p.bench, p.progress),
+                    stalled: p.stalled_until > self.now,
+                }),
+        );
+        let epoch = self.chip.state_epoch();
+        let droop_alert = self.chip.droop_excursion_active();
+        let fresh = self.change_point_integration
+            && self.scratch.slice.valid
+            && self.scratch.slice.chip_epoch == epoch
+            && self.scratch.slice.droop_alert == droop_alert
+            && sig_next == self.scratch.sig;
+        if fresh {
+            self.scratch.sig_next = sig_next;
+            return;
+        }
+        std::mem::swap(&mut self.scratch.sig, &mut sig_next);
+        self.scratch.sig_next = sig_next;
+
+        let mut conds = std::mem::take(&mut self.scratch.conds);
+        let mut owner = std::mem::take(&mut self.scratch.owner);
+        let loads = std::mem::take(&mut self.scratch.loads);
+        let mut act_sum = std::mem::take(&mut self.scratch.act_sum);
+
+        // One pressure evaluation feeds both the contention multiplier
+        // and the memory-traffic term (they always read the same value).
+        let pressure = self.total_pressure();
+        self.fill_conditions(pressure, &mut conds, &mut owner);
+        let inputs = self.power_inputs_into(pressure, &conds, loads, &mut act_sum);
+        let watts = self.chip.evaluate_power_w(&inputs);
+
+        let busy = self.busy_cores();
+        let unsafe_active = !busy.is_empty() && !self.chip.is_voltage_safe_for(busy);
+        let mut p_per_run = 0.0;
+        if unsafe_active && self.config.inject_failures {
+            let safe = self.chip.current_safe_vmin(busy);
+            let class = self
+                .chip
+                .vmin_model()
+                .droop_class(busy.utilized_pmd_count(self.chip.spec()));
+            p_per_run = self
+                .chip
+                .failure_model()
+                .pfail(self.chip.voltage(), safe, class);
+        }
+
+        self.scratch.conds = conds;
+        self.scratch.owner = owner;
+        self.scratch.loads = inputs.pmd_loads;
+        self.scratch.act_sum = act_sum;
+        self.scratch.slice = SliceCache {
+            valid: true,
+            chip_epoch: epoch,
+            droop_alert,
+            watts,
+            unsafe_active,
+            p_per_run,
+            utilized: busy.utilized_pmd_count(self.chip.spec()),
+        };
     }
 
     /// Aggregate memory pressure of running processes, accounting for
@@ -791,10 +955,15 @@ impl System {
     /// Computes per-running-process effective conditions for the current
     /// instant into `conds` (pid-sorted), using `owner` as core-owner
     /// scratch for L2-partner lookups.
-    fn fill_conditions(&self, conds: &mut Vec<(Pid, Cond)>, owner: &mut Vec<Option<Pid>>) {
+    fn fill_conditions(
+        &self,
+        pressure: f64,
+        conds: &mut Vec<(Pid, Cond)>,
+        owner: &mut Vec<Option<Pid>>,
+    ) {
         conds.clear();
         owner.clear();
-        let base_mult = self.perf.mem_contention_mult(self.total_pressure());
+        let base_mult = self.perf.mem_contention_mult(pressure);
         for p in self.procs.values().filter(|p| p.is_running()) {
             for c in p.assigned.iter() {
                 if c.index() >= owner.len() {
@@ -880,32 +1049,20 @@ impl System {
         }
         let dt = (target - self.now).as_secs_f64();
 
-        // Power for this slice.
-        let loads = std::mem::take(&mut self.scratch.loads);
-        let mut act_sum = std::mem::take(&mut self.scratch.act_sum);
-        let inputs = self.power_inputs_into(conds, loads, &mut act_sum);
-        let watts = self.chip.evaluate_power_w(&inputs);
-        self.scratch.loads = inputs.pmd_loads;
-        self.scratch.act_sum = act_sum;
+        // Power for this slice: piecewise constant, so the value the
+        // slice memo captured at the last change point is *the* value
+        // for the whole slice — no re-evaluation.
+        let watts = self.scratch.slice.watts;
         self.energy_j += watts * dt;
         self.power_acc.set(self.now, watts);
 
-        // Safety accounting (and optional failure injection).
-        let busy = self.busy_cores();
-        if !busy.is_empty() && !self.chip.is_voltage_safe_for(busy) {
+        // Safety accounting (and optional failure injection), also
+        // constant across the slice.
+        if self.scratch.slice.unsafe_active {
             self.unsafe_time_s += dt;
             if self.config.inject_failures {
-                let safe = self.chip.current_safe_vmin(busy);
-                let class = self
-                    .chip
-                    .vmin_model()
-                    .droop_class(busy.utilized_pmd_count(self.chip.spec()));
-                let p_per_run = self
-                    .chip
-                    .failure_model()
-                    .pfail(self.chip.voltage(), safe, class);
                 // Treat each second below Vmin as one run opportunity.
-                let lam = p_per_run * dt;
+                let lam = self.scratch.slice.p_per_run * dt;
                 self.failures += self.failure_rng.poisson(lam);
             }
         }
@@ -914,7 +1071,9 @@ impl System {
         let mut chip_cycles_at_fmax = 0u64;
         let mut activity_sum = 0.0;
         let mut active_threads = 0usize;
-        for &(pid, (rate, freq, mult)) in conds {
+        let use_memo = self.change_point_integration;
+        let mut memo = std::mem::take(&mut self.scratch.pmu_memo);
+        for (i, &(pid, (rate, freq, mult))) in conds.iter().enumerate() {
             let p = self.procs.get_mut(&pid).expect("cond pid");
             let run_dt = if p.stalled_until > self.now {
                 // Stall may end inside the slice (slice boundaries include
@@ -934,12 +1093,42 @@ impl System {
                 }
             }
             // PMU accrues whenever cores are clocked, stalled or not.
-            // Observables follow the program's current phase.
+            // Observables follow the program's current phase — sampled
+            // *after* the progress update, so they key on the
+            // end-of-slice phase, unlike the start-of-slice slice memo.
             let cycles = (freq as f64 * 1e6 * dt) as u64 * p.threads as u64;
-            let profile = phases::effective_profile(p.bench, p.progress);
-            let l3_rate = self.perf.observed_l3c_rate(&profile, mult);
+            let phase = phases::phase_index(p.bench, p.progress);
+            let (l3_rate, act) = match memo.get(i) {
+                Some(e)
+                    if use_memo
+                        && e.pid == pid
+                        && e.phase == phase
+                        && e.freq == freq
+                        && e.mult_bits == mult.to_bits() =>
+                {
+                    (e.l3_rate, e.act)
+                }
+                _ => {
+                    let profile = phases::effective_profile(p.bench, p.progress);
+                    let l3_rate = self.perf.observed_l3c_rate(&profile, mult);
+                    let act = self.perf.effective_activity(&profile, &p.work, freq, mult);
+                    let entry = PmuMemoEntry {
+                        pid,
+                        phase,
+                        freq,
+                        mult_bits: mult.to_bits(),
+                        l3_rate,
+                        act,
+                    };
+                    if i < memo.len() {
+                        memo[i] = entry;
+                    } else {
+                        memo.push(entry);
+                    }
+                    (l3_rate, act)
+                }
+            };
             let l3 = (cycles as f64 / 1e6 * l3_rate) as u64;
-            let act = self.perf.effective_activity(&profile, &p.work, freq, mult);
             let instr = (cycles as f64 * act) as u64;
             p.cycles += cycles;
             p.l3_accesses += l3;
@@ -952,11 +1141,14 @@ impl System {
             activity_sum += act * p.threads as f64;
             active_threads += p.threads;
         }
+        self.scratch.pmu_memo = memo;
 
         // Droop events for the slice.
         if active_threads > 0 {
-            let utilized = busy.utilized_pmd_count(self.chip.spec());
-            let class = self.chip.vmin_model().droop_class(utilized);
+            let class = self
+                .chip
+                .vmin_model()
+                .droop_class(self.scratch.slice.utilized);
             let mean_act = activity_sum / active_threads as f64;
             chip_cycles_at_fmax = (self.chip.spec().fmax_mhz as f64 * 1e6 * dt) as u64;
             let counts = self.chip.droop_model().sample(
@@ -975,9 +1167,11 @@ impl System {
 
     /// Builds the chip power inputs for the current instant. `loads`
     /// moves in and out through the returned [`PowerInputs`] so the
-    /// caller can recycle it; `act_sum` is plain scratch.
+    /// caller can recycle it; `act_sum` is plain scratch. `pressure` is
+    /// the caller's [`Self::total_pressure`] evaluation for the instant.
     fn power_inputs_into(
         &self,
+        pressure: f64,
         conds: &[(Pid, Cond)],
         mut loads: Vec<PmdLoad>,
         act_sum: &mut Vec<f64>,
@@ -1012,19 +1206,23 @@ impl System {
         PowerInputs {
             voltage: self.chip.voltage(),
             pmd_loads: loads,
-            mem_traffic: (self.total_pressure() / self.perf.mem_capacity).min(1.0),
+            mem_traffic: (pressure / self.perf.mem_capacity).min(1.0),
         }
     }
 
-    /// Applies driver actions in order, returning the transient faults
-    /// they hit. A failed voltage write aborts the remainder of the batch
-    /// — the daemon's mailbox write is synchronous, so a raise that never
-    /// landed must gate the reconfiguration it was meant to cover (the
-    /// fail-safe ordering survives injected faults precisely because of
-    /// this cut).
-    fn apply_actions(&mut self, actions: &[Action], metrics: &mut RunMetrics) -> Vec<FaultNotice> {
+    /// Applies driver actions in order, appending the transient faults
+    /// they hit to `notices` (a caller-recycled buffer). A failed voltage
+    /// write aborts the remainder of the batch — the daemon's mailbox
+    /// write is synchronous, so a raise that never landed must gate the
+    /// reconfiguration it was meant to cover (the fail-safe ordering
+    /// survives injected faults precisely because of this cut).
+    fn apply_actions_into(
+        &mut self,
+        actions: &[Action],
+        metrics: &mut RunMetrics,
+        notices: &mut Vec<FaultNotice>,
+    ) {
         let _ = metrics;
-        let mut notices = Vec::new();
         for action in actions {
             match *action {
                 Action::PinProcess(pid, cores) => {
@@ -1067,7 +1265,6 @@ impl System {
                 }
             }
         }
-        notices
     }
 
     fn note_action_applied(&mut self) {
@@ -1212,9 +1409,11 @@ impl System {
         self.scratch.steps = steps;
     }
 
-    /// Closes monitoring windows; returns processes whose class flipped.
-    fn close_monitor_windows(&mut self) -> Vec<(Pid, IntensityClass)> {
-        let mut changes = Vec::new();
+    /// Closes monitoring windows; processes whose class flipped are left
+    /// in `scratch.class_changes` for the caller to dispatch.
+    fn close_monitor_windows(&mut self) {
+        let mut changes = std::mem::take(&mut self.scratch.class_changes);
+        changes.clear();
         for (pid, mon) in self.monitors.iter_mut() {
             let Some(p) = self.procs.get(pid) else {
                 continue;
@@ -1249,22 +1448,13 @@ impl System {
                 changes.push((*pid, after));
             }
         }
-        changes
+        self.scratch.class_changes = changes;
     }
 
     /// Records one trace sample (Figures 14/15).
     fn record_sample(&mut self, metrics: &mut RunMetrics) {
-        let mut conds = std::mem::take(&mut self.scratch.conds);
-        let mut owner = std::mem::take(&mut self.scratch.owner);
-        self.fill_conditions(&mut conds, &mut owner);
-        let loads = std::mem::take(&mut self.scratch.loads);
-        let mut act_sum = std::mem::take(&mut self.scratch.act_sum);
-        let inputs = self.power_inputs_into(&conds, loads, &mut act_sum);
-        let watts = self.chip.evaluate_power_w(&inputs);
-        self.scratch.loads = inputs.pmd_loads;
-        self.scratch.act_sum = act_sum;
-        self.scratch.conds = conds;
-        self.scratch.owner = owner;
+        self.refresh_slice();
+        let watts = self.scratch.slice.watts;
         metrics.power_trace.push(self.now, watts);
         let running_threads: usize = self
             .procs
@@ -1382,6 +1572,52 @@ mod tests {
         for (a, b) in reference.completed.iter().zip(&stepped.completed) {
             assert_eq!(a.pid, b.pid);
             assert_eq!(a.finished_at, b.finished_at);
+        }
+    }
+
+    #[test]
+    fn change_point_integration_is_bit_identical_to_per_slice() {
+        // The slice memo must be a pure optimization: integrating power
+        // only at change points has to reproduce the reference path
+        // (full re-evaluation every slice) to the last bit, on both
+        // chip presets and with failure injection exercising the
+        // safety/droop accounting.
+        let presets: [(fn() -> avfs_chip::presets::ChipBuilder, PerfModel); 2] = [
+            (presets::xgene2, PerfModel::xgene2()),
+            (presets::xgene3, PerfModel::xgene3()),
+        ];
+        for (mk_chip, perf) in presets {
+            for seed in [11u64, 42, 97] {
+                let trace = small_trace(seed);
+                let cfg = SystemConfig {
+                    inject_failures: true,
+                    ..SystemConfig::default()
+                };
+
+                let mut reference = System::new(mk_chip().build(), perf.clone(), cfg.clone());
+                reference.set_change_point_integration(false);
+                let r = reference.run(&trace, &mut DefaultPolicy::ondemand());
+
+                let mut cached = System::new(mk_chip().build(), perf.clone(), cfg.clone());
+                cached.set_change_point_integration(true);
+                let c = cached.run(&trace, &mut DefaultPolicy::ondemand());
+
+                assert_eq!(r.energy_j.to_bits(), c.energy_j.to_bits(), "seed {seed}");
+                assert_eq!(r.makespan, c.makespan, "seed {seed}");
+                assert_eq!(r.unsafe_time_s.to_bits(), c.unsafe_time_s.to_bits());
+                assert_eq!(r.failures, c.failures, "seed {seed}");
+                assert_eq!(r.migrations, c.migrations, "seed {seed}");
+                assert_eq!(r.voltage_changes, c.voltage_changes, "seed {seed}");
+                assert_eq!(r.power_trace.len(), c.power_trace.len(), "seed {seed}");
+                for ((ta, va), (tb, vb)) in r.power_trace.iter().zip(c.power_trace.iter()) {
+                    assert_eq!(ta, tb, "seed {seed}");
+                    assert_eq!(va.to_bits(), vb.to_bits(), "seed {seed}");
+                }
+                for (a, b) in r.completed.iter().zip(&c.completed) {
+                    assert_eq!(a.pid, b.pid, "seed {seed}");
+                    assert_eq!(a.finished_at, b.finished_at, "seed {seed}");
+                }
+            }
         }
     }
 

@@ -1,0 +1,105 @@
+//! Equivalence proof: the calendar-queue [`EventQueue`] pops the exact
+//! sequence a binary heap ordered by `(time, seq)` would, including FIFO
+//! among heavy timestamp ties and across every level boundary (near-level
+//! late inserts, bucket edges, and the overflow horizon).
+
+use std::collections::BinaryHeap;
+
+use avfs_sim::events::{Event, EventQueue};
+use avfs_sim::time::SimTime;
+use proptest::prelude::*;
+
+/// Adversarial timestamp palette: massed ties, bucket-width edges
+/// (1 ms buckets), the wheel horizon (64 ms), and deep overflow — so
+/// generated schedules constantly straddle level boundaries.
+const PALETTE: [u64; 16] = [
+    0,
+    1,
+    7,
+    7, // doubled: even the palette draw itself ties
+    999_999,
+    1_000_000,
+    1_000_001,
+    5_000_000,
+    63_999_999,
+    64_000_000,
+    64_000_001,
+    100_000_000,
+    999_999_999,
+    1_000_000_000,
+    1_000_000_000,
+    3_600_000_000_000,
+];
+
+proptest! {
+    /// Any interleaving of schedule / pop / pop_due / peek produces
+    /// bit-identical results from the calendar queue and a reference
+    /// max-heap over reverse-`(time, seq)`-ordered events.
+    #[test]
+    fn calendar_queue_matches_binary_heap(
+        ops in collection::vec((0u8..8, 0usize..16), 1..400),
+    ) {
+        let mut q = EventQueue::new();
+        let mut heap: BinaryHeap<Event<u64>> = BinaryHeap::new();
+        let mut next_seq = 0u64;
+        let mut payload = 0u64;
+        let mut now_ns = 0u64;
+        for &(op, sel) in &ops {
+            match op {
+                // Weighted toward scheduling so queues actually fill.
+                0..=4 => {
+                    let time = SimTime::from_nanos(PALETTE[sel % PALETTE.len()]);
+                    let seq = q.schedule(time, payload);
+                    prop_assert_eq!(seq, next_seq);
+                    heap.push(Event { time, seq, payload });
+                    next_seq += 1;
+                    payload += 1;
+                }
+                5 => prop_assert_eq!(q.pop(), heap.pop()),
+                6 => {
+                    now_ns = now_ns.saturating_add(PALETTE[sel % PALETTE.len()] / 8);
+                    let now = SimTime::from_nanos(now_ns);
+                    let expected = match heap.peek() {
+                        Some(e) if e.time <= now => heap.pop(),
+                        _ => None,
+                    };
+                    prop_assert_eq!(q.pop_due(now), expected);
+                }
+                _ => prop_assert_eq!(q.peek_time(), heap.peek().map(|e| e.time)),
+            }
+            prop_assert_eq!(q.len(), heap.len());
+            prop_assert_eq!(q.is_empty(), heap.is_empty());
+        }
+        // Drain both to the end: every remaining event identical.
+        while let Some(expected) = heap.pop() {
+            prop_assert_eq!(q.pop(), Some(expected));
+        }
+        prop_assert_eq!(q.pop(), None);
+    }
+}
+
+/// A directed worst case on top of the property: thousands of events on
+/// one instant interleaved with events pinning every other level.
+#[test]
+fn massed_ties_across_levels_stay_fifo() {
+    let mut q = EventQueue::new();
+    let mut heap: BinaryHeap<Event<u32>> = BinaryHeap::new();
+    let tie = SimTime::from_millis(32);
+    for i in 0..4_000u32 {
+        let time = match i % 5 {
+            0..=2 => tie,
+            3 => SimTime::from_millis(u64::from(i) % 70),
+            _ => SimTime::from_secs(1 + u64::from(i) % 3),
+        };
+        let seq = q.schedule(time, i);
+        heap.push(Event {
+            time,
+            seq,
+            payload: i,
+        });
+    }
+    while let Some(expected) = heap.pop() {
+        assert_eq!(q.pop(), Some(expected));
+    }
+    assert!(q.is_empty());
+}

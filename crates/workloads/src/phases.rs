@@ -135,6 +135,23 @@ pub fn effective_profile(bench: Benchmark, progress: f64) -> BenchProfile {
     }
 }
 
+/// The index of the phase in effect at `progress` — the discrete key
+/// under which [`effective_profile`] is piecewise constant. Programs
+/// without a schedule are a single phase (index 0). Callers that cache
+/// per-phase derived quantities key on this instead of the raw progress
+/// float, with the exact same phase-selection rule as
+/// [`effective_profile`].
+pub fn phase_index(bench: Benchmark, progress: f64) -> u32 {
+    let Some(phases) = schedule(bench) else {
+        return 0;
+    };
+    let progress = progress.clamp(0.0, 1.0);
+    phases
+        .iter()
+        .position(|p| progress < p.until_progress)
+        .unwrap_or(phases.len() - 1) as u32
+}
+
 /// Whether the benchmark's classification flips across its phases (at
 /// the paper's 3000 L3C/1M-cycles threshold).
 pub fn class_flips(bench: Benchmark) -> bool {
@@ -207,6 +224,30 @@ mod tests {
                 // Work totals untouched.
                 assert_eq!(e.ref_time_s, b.profile().ref_time_s);
             }
+        }
+    }
+
+    #[test]
+    fn phase_index_partitions_exactly_like_effective_profile() {
+        // Equal indices must mean bit-equal profiles: the simulator's
+        // slice cache keys on the index, so any divergence here breaks
+        // bit-identical energy accounting.
+        for b in Benchmark::ALL {
+            let mut by_index: Vec<(u32, BenchProfile)> = Vec::new();
+            for i in 0..=1000 {
+                let p = i as f64 / 1000.0;
+                let idx = phase_index(b, p);
+                let prof = effective_profile(b, p);
+                match by_index.iter().find(|(j, _)| *j == idx) {
+                    Some((_, seen)) => assert_eq!(*seen, prof, "{b} at {p}"),
+                    None => by_index.push((idx, prof)),
+                }
+            }
+            let expected = schedule(b).map_or(1, <[Phase]>::len);
+            assert_eq!(by_index.len(), expected, "{b}");
+            // Out-of-range progress clamps like effective_profile.
+            assert_eq!(phase_index(b, 1.5), phase_index(b, 1.0), "{b}");
+            assert_eq!(phase_index(b, -0.5), phase_index(b, 0.0), "{b}");
         }
     }
 

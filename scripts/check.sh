@@ -75,7 +75,10 @@ cmp "$trace_dir/a.jsonl" "$trace_dir/b.jsonl"
 echo "==> telemetry observer guard (null-path overhead within noise)"
 cargo test -q --release -p avfs-bench --test observer_guard
 
-echo "==> bench smoke gate (throughput vs BENCH_8.json, 20% tolerance)"
+echo "==> bench smoke gate (throughput vs BENCH_9.json, 20% tolerance)"
 scripts/bench.sh --smoke
+
+echo "==> allocation gate (zero allocations per event in steady state)"
+scripts/bench.sh --alloc-gate
 
 echo "All checks passed."
